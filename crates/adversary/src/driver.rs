@@ -1,0 +1,124 @@
+//! The attack loop: run an adversary against any self-healing network.
+
+use crate::strategies::{Adversary, AttackView};
+use fg_core::{EngineError, NetworkEvent, SelfHealer};
+
+/// Outcome of an attack run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackLog {
+    /// Every event that was applied, in order.
+    pub events: Vec<NetworkEvent>,
+    /// How many of them were deletions.
+    pub deletions: usize,
+    /// How many were insertions.
+    pub insertions: usize,
+}
+
+impl AttackLog {
+    /// Total number of adversarial steps.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the adversary made no move at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Runs `adversary` against `healer` for at most `max_steps` moves (or
+/// until the adversary gives up), applying each event as it is produced —
+/// the adversary sees the healed network after every repair, exactly as in
+/// the paper's model.
+///
+/// # Errors
+///
+/// Propagates the first engine error; strategies only emit legal moves,
+/// so an error indicates a healer bug.
+pub fn run_attack(
+    healer: &mut dyn SelfHealer,
+    adversary: &mut dyn Adversary,
+    max_steps: usize,
+) -> Result<AttackLog, EngineError> {
+    let mut log = AttackLog {
+        events: Vec::new(),
+        deletions: 0,
+        insertions: 0,
+    };
+    for _ in 0..max_steps {
+        let event = {
+            let view = AttackView {
+                image: healer.image(),
+                ghost: healer.ghost(),
+            };
+            match adversary.next_event(view) {
+                Some(e) => e,
+                None => break,
+            }
+        };
+        healer.apply_event(&event)?;
+        if event.is_delete() {
+            log.deletions += 1;
+        } else {
+            log.insertions += 1;
+        }
+        log.events.push(event);
+    }
+    Ok(log)
+}
+
+/// Replays a recorded event sequence against a healer — used to subject
+/// different healers (or the distributed engine) to the *same* attack.
+///
+/// # Errors
+///
+/// Propagates the first engine error.
+pub fn replay(
+    healer: &mut dyn SelfHealer,
+    events: &[NetworkEvent],
+) -> Result<(), EngineError> {
+    for e in events {
+        healer.apply_event(e)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{MaxDegreeDeleter, RandomDeleter};
+    use fg_core::ForgivingGraph;
+    use fg_graph::{generators, traversal};
+
+    #[test]
+    fn attack_runs_until_floor() {
+        let mut fg = ForgivingGraph::from_graph(&generators::cycle(10)).unwrap();
+        let mut adv = RandomDeleter::new(1, 4);
+        let log = run_attack(&mut fg, &mut adv, 100).unwrap();
+        assert_eq!(log.deletions, 6);
+        assert_eq!(log.insertions, 0);
+        assert_eq!(fg.image().node_count(), 4);
+        assert!(traversal::is_connected(fg.image()));
+        fg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn attack_respects_max_steps() {
+        let mut fg = ForgivingGraph::from_graph(&generators::cycle(10)).unwrap();
+        let mut adv = MaxDegreeDeleter::new(1);
+        let log = run_attack(&mut fg, &mut adv, 3).unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(fg.image().node_count(), 7);
+    }
+
+    #[test]
+    fn replay_reproduces_state() {
+        let mut a = ForgivingGraph::from_graph(&generators::grid(3, 3)).unwrap();
+        let mut adv = RandomDeleter::new(9, 3);
+        let log = run_attack(&mut a, &mut adv, 100).unwrap();
+
+        let mut b = ForgivingGraph::from_graph(&generators::grid(3, 3)).unwrap();
+        replay(&mut b, &log.events).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,564 @@
+//! Omniscient attack strategies.
+//!
+//! The paper's adversary "knows the network topology and our algorithm"
+//! and may, per step, delete any node or insert a node with arbitrary
+//! connections. Every strategy here sees the full healed network (and the
+//! ghost graph) and emits the next [`NetworkEvent`]. All randomness is
+//! seeded `ChaCha8`, so attack traces are reproducible.
+
+use fg_core::NetworkEvent;
+use fg_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The adversary's omniscient view before each move.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackView<'a> {
+    /// The healed network as it currently exists.
+    pub image: &'a Graph,
+    /// The insert-only graph `G'`.
+    pub ghost: &'a Graph,
+}
+
+impl<'a> AttackView<'a> {
+    /// Live nodes in id order.
+    pub fn alive(&self) -> Vec<NodeId> {
+        self.image.iter().collect()
+    }
+}
+
+/// An adversary: a stream of attack moves computed from full knowledge of
+/// the network.
+pub trait Adversary {
+    /// Strategy name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The next move, or `None` when the strategy is done (e.g. the
+    /// network is too small to keep attacking).
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent>;
+}
+
+/// Deletes a uniformly random live node — the "random failure" regime the
+/// cascading-failure literature studies.
+#[derive(Debug)]
+pub struct RandomDeleter {
+    rng: ChaCha8Rng,
+    /// Stop when this many nodes remain.
+    pub floor: usize,
+}
+
+impl RandomDeleter {
+    /// Creates the strategy with a deterministic seed; attacks until only
+    /// `floor` nodes remain.
+    pub fn new(seed: u64, floor: usize) -> Self {
+        RandomDeleter {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            floor: floor.max(1),
+        }
+    }
+}
+
+impl Adversary for RandomDeleter {
+    fn name(&self) -> &'static str {
+        "random-delete"
+    }
+
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent> {
+        let alive = view.alive();
+        if alive.len() <= self.floor {
+            return None;
+        }
+        let v = alive[self.rng.gen_range(0..alive.len())];
+        Some(NetworkEvent::delete(v))
+    }
+}
+
+/// Always deletes the highest-degree live node (ties to the smallest id) —
+/// the classic targeted attack on heavy-tailed networks.
+#[derive(Debug)]
+pub struct MaxDegreeDeleter {
+    /// Stop when this many nodes remain.
+    pub floor: usize,
+}
+
+impl MaxDegreeDeleter {
+    /// Attacks hubs until only `floor` nodes remain.
+    pub fn new(floor: usize) -> Self {
+        MaxDegreeDeleter { floor: floor.max(1) }
+    }
+}
+
+impl Adversary for MaxDegreeDeleter {
+    fn name(&self) -> &'static str {
+        "max-degree-delete"
+    }
+
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent> {
+        let alive = view.alive();
+        if alive.len() <= self.floor {
+            return None;
+        }
+        let v = alive
+            .into_iter()
+            .max_by_key(|&v| (view.image.degree(v), std::cmp::Reverse(v)))?;
+        Some(NetworkEvent::delete(v))
+    }
+}
+
+/// Deletes cut vertices (articulation points) of the *ghost* graph first —
+/// the nodes whose loss would disconnect `G'` itself — falling back to
+/// max degree. This maximises the healing work because the victim's
+/// neighbourhood spans otherwise-distant regions.
+#[derive(Debug)]
+pub struct CutPointDeleter {
+    /// Stop when this many nodes remain.
+    pub floor: usize,
+}
+
+impl CutPointDeleter {
+    /// Attacks articulation points until only `floor` nodes remain.
+    pub fn new(floor: usize) -> Self {
+        CutPointDeleter { floor: floor.max(1) }
+    }
+}
+
+impl Adversary for CutPointDeleter {
+    fn name(&self) -> &'static str {
+        "cut-point-delete"
+    }
+
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent> {
+        let alive = view.alive();
+        if alive.len() <= self.floor {
+            return None;
+        }
+        let cuts = articulation_points(view.image);
+        let v = cuts
+            .into_iter()
+            .max_by_key(|&v| (view.image.degree(v), std::cmp::Reverse(v)))
+            .or_else(|| {
+                alive
+                    .into_iter()
+                    .max_by_key(|&v| (view.image.degree(v), std::cmp::Reverse(v)))
+            })?;
+        Some(NetworkEvent::delete(v))
+    }
+}
+
+/// The Theorem 2 adversary: grow a star by inserting `spokes` nodes all
+/// attached to one victim, then delete the victim. Repeats with a fresh
+/// victim each round. This is the workload that forces the
+/// degree-vs-stretch trade-off.
+#[derive(Debug)]
+pub struct StarSmash {
+    rng: ChaCha8Rng,
+    spokes: usize,
+    inserted: usize,
+    victim: Option<NodeId>,
+    rounds: usize,
+}
+
+impl StarSmash {
+    /// Each round inserts `spokes` spoke nodes onto a random victim and
+    /// then deletes the victim; runs `rounds` rounds.
+    pub fn new(seed: u64, spokes: usize, rounds: usize) -> Self {
+        StarSmash {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            spokes: spokes.max(1),
+            inserted: 0,
+            victim: None,
+            rounds,
+        }
+    }
+}
+
+impl Adversary for StarSmash {
+    fn name(&self) -> &'static str {
+        "star-smash"
+    }
+
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent> {
+        if self.rounds == 0 {
+            return None;
+        }
+        let alive = view.alive();
+        if alive.is_empty() {
+            return None;
+        }
+        let victim = match self.victim {
+            Some(v) if view.image.contains(v) => v,
+            _ => {
+                let v = alive[self.rng.gen_range(0..alive.len())];
+                self.victim = Some(v);
+                self.inserted = 0;
+                v
+            }
+        };
+        if self.inserted < self.spokes {
+            self.inserted += 1;
+            Some(NetworkEvent::insert([victim]))
+        } else {
+            self.victim = None;
+            self.rounds -= 1;
+            Some(NetworkEvent::delete(victim))
+        }
+    }
+}
+
+/// Mixed churn: deletes with probability `p_delete`, otherwise inserts a
+/// node attached to a random subset of live nodes (1 to `max_fan`).
+/// Models realistic peer-to-peer membership churn.
+#[derive(Debug)]
+pub struct ChurnAdversary {
+    rng: ChaCha8Rng,
+    /// Probability of a deletion per step.
+    pub p_delete: f64,
+    /// Maximum attachment fan for insertions.
+    pub max_fan: usize,
+    /// Stop when this many nodes remain.
+    pub floor: usize,
+    steps_left: usize,
+}
+
+impl ChurnAdversary {
+    /// Runs `steps` steps of seeded churn.
+    pub fn new(seed: u64, p_delete: f64, max_fan: usize, floor: usize, steps: usize) -> Self {
+        assert!((0.0..=1.0).contains(&p_delete), "probability out of range");
+        ChurnAdversary {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            p_delete,
+            max_fan: max_fan.max(1),
+            floor: floor.max(2),
+            steps_left: steps,
+        }
+    }
+}
+
+impl Adversary for ChurnAdversary {
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent> {
+        if self.steps_left == 0 {
+            return None;
+        }
+        self.steps_left -= 1;
+        let alive = view.alive();
+        if alive.len() > self.floor && self.rng.gen_bool(self.p_delete) {
+            let v = alive[self.rng.gen_range(0..alive.len())];
+            Some(NetworkEvent::delete(v))
+        } else {
+            let fan = self.rng.gen_range(1..=self.max_fan.min(alive.len()));
+            let mut nbrs = alive;
+            nbrs.shuffle(&mut self.rng);
+            nbrs.truncate(fan);
+            Some(NetworkEvent::insert(nbrs))
+        }
+    }
+}
+
+/// Preferential-attachment growth: inserts nodes attached to
+/// degree-proportional targets, modelling organic network growth between
+/// attacks (use inside a [`crate::Composite`]).
+#[derive(Debug)]
+pub struct PreferentialInserter {
+    rng: ChaCha8Rng,
+    fan: usize,
+    steps_left: usize,
+}
+
+impl PreferentialInserter {
+    /// Inserts `steps` nodes, each attached to `fan` degree-weighted
+    /// targets.
+    pub fn new(seed: u64, fan: usize, steps: usize) -> Self {
+        PreferentialInserter {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            fan: fan.max(1),
+            steps_left: steps,
+        }
+    }
+}
+
+impl Adversary for PreferentialInserter {
+    fn name(&self) -> &'static str {
+        "preferential-insert"
+    }
+
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent> {
+        if self.steps_left == 0 {
+            return None;
+        }
+        let alive = view.alive();
+        if alive.is_empty() {
+            return None;
+        }
+        self.steps_left -= 1;
+        // Degree-proportional sampling without replacement.
+        let mut chosen: Vec<NodeId> = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < self.fan.min(alive.len()) && guard < 50 * self.fan {
+            guard += 1;
+            let total: usize = alive.iter().map(|&v| view.image.degree(v) + 1).sum();
+            let mut pick = self.rng.gen_range(0..total);
+            for &v in &alive {
+                let w = view.image.degree(v) + 1;
+                if pick < w {
+                    if !chosen.contains(&v) {
+                        chosen.push(v);
+                    }
+                    break;
+                }
+                pick -= w;
+            }
+        }
+        Some(NetworkEvent::insert(chosen))
+    }
+}
+
+/// Runs a sequence of adversaries back to back.
+pub struct Composite {
+    name: &'static str,
+    phases: Vec<Box<dyn Adversary>>,
+    current: usize,
+}
+
+impl std::fmt::Debug for Composite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Composite")
+            .field("name", &self.name)
+            .field("phases", &self.phases.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl Composite {
+    /// Chains `phases` under a combined display name.
+    pub fn new(name: &'static str, phases: Vec<Box<dyn Adversary>>) -> Self {
+        Composite {
+            name,
+            phases,
+            current: 0,
+        }
+    }
+}
+
+impl Adversary for Composite {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_event(&mut self, view: AttackView<'_>) -> Option<NetworkEvent> {
+        while self.current < self.phases.len() {
+            if let Some(e) = self.phases[self.current].next_event(AttackView {
+                image: view.image,
+                ghost: view.ghost,
+            }) {
+                return Some(e);
+            }
+            self.current += 1;
+        }
+        None
+    }
+}
+
+/// Articulation points of the live graph (Tarjan's low-link DFS, iterative).
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let n = g.nodes_ever();
+    let mut disc = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut is_cut = vec![false; n];
+    let mut timer = 1u32;
+
+    for root in g.iter() {
+        if visited[root.index()] {
+            continue;
+        }
+        // Iterative DFS with explicit frames: (node, parent, neighbour list, next index, child count).
+        let mut stack: Vec<(NodeId, Option<NodeId>, Vec<NodeId>, usize, usize)> = Vec::new();
+        visited[root.index()] = true;
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
+        timer += 1;
+        stack.push((root, None, g.neighbor_vec(root), 0, 0));
+        while let Some(frame) = stack.last_mut() {
+            let u = frame.0;
+            let parent = frame.1;
+            if frame.3 < frame.2.len() {
+                let w = frame.2[frame.3];
+                frame.3 += 1;
+                if Some(w) == parent {
+                    continue;
+                }
+                if visited[w.index()] {
+                    low[u.index()] = low[u.index()].min(disc[w.index()]);
+                    continue;
+                }
+                visited[w.index()] = true;
+                disc[w.index()] = timer;
+                low[w.index()] = timer;
+                timer += 1;
+                frame.4 += 1;
+                stack.push((w, Some(u), g.neighbor_vec(w), 0, 0));
+            } else {
+                let children = frame.4;
+                stack.pop();
+                if let Some(pframe) = stack.last_mut() {
+                    let p = pframe.0;
+                    low[p.index()] = low[p.index()].min(low[u.index()]);
+                    if pframe.1.is_some() && low[u.index()] >= disc[p.index()] {
+                        is_cut[p.index()] = true;
+                    }
+                } else if children >= 2 {
+                    // u is the DFS root: cut iff it has ≥ 2 DFS children.
+                    is_cut[u.index()] = true;
+                }
+            }
+        }
+    }
+    g.iter().filter(|v| is_cut[v.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::generators;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn view(g: &Graph) -> AttackView<'_> {
+        AttackView { image: g, ghost: g }
+    }
+
+    #[test]
+    fn articulation_points_of_path_and_star() {
+        let p = generators::path(5);
+        assert_eq!(
+            articulation_points(&p),
+            vec![n(1), n(2), n(3)],
+            "interior path nodes are cuts"
+        );
+        let s = generators::star(6);
+        assert_eq!(articulation_points(&s), vec![n(0)], "hub is the only cut");
+        let c = generators::cycle(6);
+        assert!(articulation_points(&c).is_empty(), "cycles have no cuts");
+    }
+
+    #[test]
+    fn articulation_points_respect_components() {
+        let mut g = generators::path(3);
+        // Second component: a triangle (no cuts).
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(a, c).unwrap();
+        assert_eq!(articulation_points(&g), vec![n(1)]);
+    }
+
+    #[test]
+    fn max_degree_targets_the_hub() {
+        let g = generators::star(6);
+        let mut adv = MaxDegreeDeleter::new(1);
+        let e = adv.next_event(view(&g)).unwrap();
+        assert_eq!(e, NetworkEvent::delete(n(0)));
+    }
+
+    #[test]
+    fn random_deleter_respects_floor() {
+        let g = generators::path(3);
+        let mut adv = RandomDeleter::new(1, 3);
+        assert!(adv.next_event(view(&g)).is_none());
+        let mut adv = RandomDeleter::new(1, 2);
+        assert!(adv.next_event(view(&g)).is_some());
+    }
+
+    #[test]
+    fn star_smash_inserts_then_deletes() {
+        let g = generators::path(3);
+        let mut adv = StarSmash::new(5, 3, 1);
+        let mut inserts = 0;
+        let mut deletes = 0;
+        for _ in 0..10 {
+            match adv.next_event(view(&g)) {
+                Some(NetworkEvent::Insert { .. }) => inserts += 1,
+                Some(NetworkEvent::Delete { .. }) => deletes += 1,
+                None => break,
+            }
+        }
+        assert_eq!(inserts, 3);
+        assert_eq!(deletes, 1);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let g = generators::cycle(8);
+        let collect = |seed| {
+            let mut adv = ChurnAdversary::new(seed, 0.5, 3, 2, 10);
+            let mut events = Vec::new();
+            while let Some(e) = adv.next_event(view(&g)) {
+                events.push(e);
+            }
+            events
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn preferential_inserter_prefers_hubs() {
+        let g = generators::star(20);
+        let mut adv = PreferentialInserter::new(3, 1, 200);
+        let mut hub_hits = 0;
+        for _ in 0..200 {
+            if let Some(NetworkEvent::Insert { neighbors }) = adv.next_event(view(&g)) {
+                if neighbors.contains(&n(0)) {
+                    hub_hits += 1;
+                }
+            }
+        }
+        // Degree-proportional weight of the hub is 20/58 ≈ 34%; uniform
+        // sampling would hit it only 5% of the time (10/200).
+        assert!(hub_hits > 40, "hub should dominate: {hub_hits}/200");
+    }
+
+    #[test]
+    fn composite_chains_phases() {
+        let g = generators::cycle(5);
+        let mut adv = Composite::new(
+            "grow-then-smash",
+            vec![
+                Box::new(PreferentialInserter::new(1, 1, 2)),
+                Box::new(MaxDegreeDeleter::new(4)),
+            ],
+        );
+        let mut kinds = Vec::new();
+        for _ in 0..4 {
+            match adv.next_event(view(&g)) {
+                Some(e) => kinds.push(e.is_delete()),
+                None => break,
+            }
+        }
+        assert_eq!(kinds, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn cut_point_deleter_picks_bridge_node() {
+        // Two triangles joined through node 2: node 2 is the cut.
+        let mut g = Graph::with_nodes(5);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+            g.add_edge(n(a), n(b)).unwrap();
+        }
+        let mut adv = CutPointDeleter::new(1);
+        assert_eq!(
+            adv.next_event(view(&g)),
+            Some(NetworkEvent::delete(n(2)))
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! The Forgiving Tree (Hayes, Rustagi, Saia, Trehan; PODC 2008) — the
+//! predecessor the paper improves on.
+//!
+//! The original Forgiving Tree maintains a spanning tree of the network;
+//! when a node dies it is replaced by a balanced "reconstruction tree" of
+//! its tree-children attached to its tree-parent. Its guarantees:
+//!
+//! * degree increases by at most an **additive** 3,
+//! * **diameter** increases by at most a factor `O(log Δ)`,
+//! * it needs an `O(n log n)`-message **initialisation** phase, and
+//! * it handles **deletions only**.
+//!
+//! This baseline reproduces those semantics by running the Forgiving
+//! Graph engine *restricted to a spanning tree* (exactly the lineage of
+//! the two papers: the Forgiving Graph generalises reconstruction trees
+//! from one spanning tree to every edge). Non-tree edges ride along
+//! unprotected: when either endpoint dies they vanish without repair, so
+//! distances that relied on them degrade to tree routes — which is why
+//! the Forgiving Tree has no `G'`-relative stretch bound, only a diameter
+//! bound, and why E5 shows it losing to the Forgiving Graph on stretch.
+//!
+//! Insertions (which PODC 2008 does not support) are modelled the way a
+//! deployment would bolt them on: the new node becomes a tree leaf under
+//! its first listed neighbour; its remaining edges are unprotected
+//! non-tree edges. E9 measures the resulting degradation.
+
+use fg_core::{EngineError, ForgivingGraph, SelfHealer};
+use fg_graph::{traversal, Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// The Forgiving Tree baseline healer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForgivingTree {
+    /// Forgiving-Graph engine over the spanning tree only.
+    tree: ForgivingGraph,
+    /// Live non-tree edges (unprotected).
+    side: Graph,
+    /// The full insert-only graph `G'` (tree + non-tree).
+    ghost: Graph,
+    /// Rebuilt combined view: tree image ∪ side edges.
+    combined: Graph,
+    /// Simulated preprocessing cost: the PODC 2008 initialisation sends
+    /// `O(n log n)` messages to distribute wills; the Forgiving Graph
+    /// needs none (E9 reports both).
+    init_messages: u64,
+}
+
+impl ForgivingTree {
+    /// Adopts `g`, paying the initialisation phase: a BFS spanning tree
+    /// rooted at the smallest id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or has tombstoned nodes — the
+    /// Forgiving Tree needs a spanning tree to exist.
+    pub fn from_graph(g: &Graph) -> Self {
+        assert_eq!(
+            g.node_count(),
+            g.nodes_ever(),
+            "G0 must not contain tombstoned nodes"
+        );
+        assert!(
+            traversal::is_connected(g),
+            "the Forgiving Tree requires a connected G0"
+        );
+        let root = g.iter().next().expect("non-empty graph");
+        let parents = traversal::bfs_parents(g, root);
+        let mut tree_graph = Graph::with_nodes(g.nodes_ever());
+        let mut side = Graph::with_nodes(g.nodes_ever());
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            let is_tree = parents[u.index()] == Some(v) || parents[v.index()] == Some(u);
+            if is_tree {
+                tree_graph.add_edge(u, v).expect("fresh tree edge");
+            } else {
+                side.add_edge(u, v).expect("fresh side edge");
+            }
+        }
+        let tree = ForgivingGraph::from_graph(&tree_graph).expect("valid tree graph");
+        let n = g.node_count().max(2) as u64;
+        let init_messages = n * (64 - (n - 1).leading_zeros() as u64).max(1);
+        let mut ft = ForgivingTree {
+            tree,
+            side,
+            ghost: g.clone(),
+            combined: Graph::new(),
+            init_messages,
+        };
+        ft.rebuild();
+        ft
+    }
+
+    /// The simulated `O(n log n)` initialisation message count.
+    pub fn init_messages(&self) -> u64 {
+        self.init_messages
+    }
+
+    /// The protected spanning-tree part of the network.
+    pub fn tree_image(&self) -> &Graph {
+        self.tree.image()
+    }
+
+    fn rebuild(&mut self) {
+        let mut combined = Graph::with_nodes(self.ghost.nodes_ever());
+        for i in 0..self.ghost.nodes_ever() {
+            let v = NodeId::new(i as u32);
+            if !self.tree.is_alive(v) {
+                combined.remove_node(v).expect("fresh node");
+            }
+        }
+        for e in self.tree.image().edges() {
+            let _ = combined.ensure_edge(e.lo(), e.hi());
+        }
+        for e in self.side.edges() {
+            let _ = combined.ensure_edge(e.lo(), e.hi());
+        }
+        self.combined = combined;
+    }
+}
+
+impl SelfHealer for ForgivingTree {
+    fn name(&self) -> &'static str {
+        "forgiving-tree"
+    }
+
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+        if neighbors.is_empty() {
+            return Err(EngineError::EmptyNeighbourhood);
+        }
+        let mut seen = BTreeSet::new();
+        for &x in neighbors {
+            if !seen.insert(x) {
+                return Err(EngineError::DuplicateNeighbour(x));
+            }
+            if !self.tree.is_alive(x) {
+                return Err(EngineError::NotAlive(x));
+            }
+        }
+        // Tree leaf under the first neighbour; the rest are unprotected.
+        let v = self.tree.insert(&neighbors[..1])?;
+        let gv = self.ghost.add_node();
+        let sv = self.side.add_node();
+        debug_assert_eq!(v, gv);
+        debug_assert_eq!(v, sv);
+        for &x in neighbors {
+            self.ghost.add_edge(v, x).expect("fresh ghost edge");
+        }
+        for &x in &neighbors[1..] {
+            self.side.add_edge(v, x).expect("fresh side edge");
+        }
+        self.rebuild();
+        Ok(v)
+    }
+
+    fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
+        self.tree.delete(v)?;
+        if self.side.contains(v) {
+            self.side.remove_node(v).expect("side tracks liveness");
+        }
+        self.rebuild();
+        Ok(())
+    }
+
+    fn image(&self) -> &Graph {
+        &self.combined
+    }
+
+    fn ghost(&self) -> &Graph {
+        &self.ghost
+    }
+
+    fn is_alive(&self, v: NodeId) -> bool {
+        self.tree.is_alive(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::generators;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn init_splits_tree_and_side_edges() {
+        let g = generators::cycle(6);
+        let ft = ForgivingTree::from_graph(&g);
+        // BFS tree of a cycle has n−1 edges; exactly one side edge.
+        assert_eq!(ft.tree_image().edge_count(), 5);
+        assert_eq!(ft.image().edge_count(), 6);
+        assert!(ft.init_messages() > 0);
+    }
+
+    #[test]
+    fn deletion_keeps_tree_connected() {
+        let mut ft = ForgivingTree::from_graph(&generators::star(8));
+        SelfHealer::delete(&mut ft, n(0)).unwrap();
+        assert!(traversal::is_connected(ft.image()));
+        assert_eq!(ft.image().node_count(), 7);
+    }
+
+    #[test]
+    fn side_edges_die_unprotected() {
+        // Cycle: one side edge; delete one of its endpoints.
+        let g = generators::cycle(6);
+        let ft0 = ForgivingTree::from_graph(&g);
+        let side_edge = {
+            let tree = ft0.tree_image();
+            g.edges().find(|e| !tree.has_edge(e.lo(), e.hi())).unwrap()
+        };
+        let mut ft = ForgivingTree::from_graph(&g);
+        SelfHealer::delete(&mut ft, side_edge.lo()).unwrap();
+        // The side edge is gone and was not replaced by anything except
+        // tree healing.
+        assert!(!ft.image().has_edge(side_edge.lo(), side_edge.hi()));
+        assert!(traversal::is_connected(ft.image()));
+    }
+
+    #[test]
+    fn insertions_become_tree_leaves() {
+        let mut ft = ForgivingTree::from_graph(&generators::path(4));
+        let v = SelfHealer::insert(&mut ft, &[n(1), n(3)]).unwrap();
+        assert!(ft.image().has_edge(v, n(1)), "tree edge");
+        assert!(ft.image().has_edge(v, n(3)), "side edge");
+        assert_eq!(ft.tree_image().degree(v), 1, "only the first is protected");
+        // Kill the tree parent: v must stay connected via tree healing.
+        SelfHealer::delete(&mut ft, n(1)).unwrap();
+        assert!(traversal::is_connected(ft.image()));
+    }
+
+    #[test]
+    fn full_cascade_stays_connected() {
+        let mut ft = ForgivingTree::from_graph(&generators::grid(3, 3));
+        for v in 0..8u32 {
+            SelfHealer::delete(&mut ft, n(v)).unwrap();
+            assert!(traversal::is_connected(ft.image()), "after deleting {v}");
+        }
+        assert_eq!(ft.image().node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_g0_is_rejected() {
+        let g = Graph::with_nodes(4);
+        let _ = ForgivingTree::from_graph(&g);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut ft = ForgivingTree::from_graph(&generators::path(3));
+        assert_eq!(
+            SelfHealer::delete(&mut ft, n(9)),
+            Err(EngineError::NotAlive(n(9)))
+        );
+        assert_eq!(
+            SelfHealer::insert(&mut ft, &[n(0), n(0)]),
+            Err(EngineError::DuplicateNeighbour(n(0)))
+        );
+    }
+}

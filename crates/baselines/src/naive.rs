@@ -1,0 +1,297 @@
+//! Naive healing baselines.
+//!
+//! Each strategy keeps the same two views as the Forgiving Graph (healed
+//! image + insert-only ghost) but repairs a deletion with a simple local
+//! rule over the victim's surviving neighbours. They bracket the design
+//! space the paper positions itself in:
+//!
+//! | healer      | degree cost          | stretch cost            |
+//! |-------------|----------------------|-------------------------|
+//! | none        | 0                    | ∞ (disconnects)         |
+//! | cycle       | +2 per lost edge     | Θ(d) per deletion       |
+//! | star        | Θ(d) at the centre   | ≤ 2 per deletion        |
+//! | clique      | Θ(d) everywhere      | 1                       |
+//! | binary tree | +3 per lost edge, but compounding across deletions | Θ(log d) per deletion |
+//!
+//! The Forgiving Graph's point is to get the binary-tree stretch with a
+//! *non-compounding* multiplicative degree bound.
+
+use fg_core::{EngineError, SelfHealer};
+use fg_graph::{Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// Shared insert/delete bookkeeping for the naive healers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BaseNet {
+    pub image: Graph,
+    pub ghost: Graph,
+}
+
+impl BaseNet {
+    pub fn from_graph(g: &Graph) -> Self {
+        assert_eq!(
+            g.node_count(),
+            g.nodes_ever(),
+            "G0 must not contain tombstoned nodes"
+        );
+        BaseNet {
+            image: g.clone(),
+            ghost: g.clone(),
+        }
+    }
+
+    pub fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+        if neighbors.is_empty() {
+            return Err(EngineError::EmptyNeighbourhood);
+        }
+        let mut seen = BTreeSet::new();
+        for &x in neighbors {
+            if !seen.insert(x) {
+                return Err(EngineError::DuplicateNeighbour(x));
+            }
+            if !self.image.contains(x) {
+                return Err(EngineError::NotAlive(x));
+            }
+        }
+        let v = self.ghost.add_node();
+        let iv = self.image.add_node();
+        debug_assert_eq!(v, iv);
+        for &x in neighbors {
+            self.ghost.add_edge(v, x).expect("fresh edges");
+            self.image.add_edge(v, x).expect("fresh edges");
+        }
+        Ok(v)
+    }
+
+    /// Removes `v` from the image, returning its surviving neighbours.
+    pub fn delete(&mut self, v: NodeId) -> Result<Vec<NodeId>, EngineError> {
+        self.image
+            .remove_node(v)
+            .map_err(|_| EngineError::NotAlive(v))
+    }
+}
+
+macro_rules! impl_self_healer {
+    ($ty:ty, $name:literal, $repair:expr) => {
+        impl SelfHealer for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+                self.net.insert(neighbors)
+            }
+
+            fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
+                let neighbors = self.net.delete(v)?;
+                #[allow(clippy::redundant_closure_call)]
+                ($repair)(&mut self.net.image, &neighbors);
+                Ok(())
+            }
+
+            fn image(&self) -> &Graph {
+                &self.net.image
+            }
+
+            fn ghost(&self) -> &Graph {
+                &self.net.ghost
+            }
+        }
+
+        impl $ty {
+            /// Adopts `g` as the initial network.
+            pub fn from_graph(g: &Graph) -> Self {
+                Self {
+                    net: BaseNet::from_graph(g),
+                }
+            }
+        }
+    };
+}
+
+/// No repair at all: deletions simply remove the node. The control case —
+/// E5 shows it disconnecting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoHealer {
+    net: BaseNet,
+}
+
+impl_self_healer!(NoHealer, "no-heal", |_: &mut Graph, _: &[NodeId]| {});
+
+/// Connects the victim's surviving neighbours in a ring (sorted by id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHealer {
+    net: BaseNet,
+}
+
+impl_self_healer!(
+    CycleHealer,
+    "cycle-heal",
+    |image: &mut Graph, nbrs: &[NodeId]| {
+        match nbrs.len() {
+            0 | 1 => {}
+            2 => {
+                let _ = image.ensure_edge(nbrs[0], nbrs[1]);
+            }
+            _ => {
+                for w in nbrs.windows(2) {
+                    let _ = image.ensure_edge(w[0], w[1]);
+                }
+                let _ = image.ensure_edge(nbrs[nbrs.len() - 1], nbrs[0]);
+            }
+        }
+    }
+);
+
+/// Connects every surviving neighbour to the smallest-id one — a local
+/// star. Low stretch, catastrophic centre degree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarHealer {
+    net: BaseNet,
+}
+
+impl_self_healer!(
+    StarHealer,
+    "star-heal",
+    |image: &mut Graph, nbrs: &[NodeId]| {
+        if let Some((&center, rest)) = nbrs.split_first() {
+            for &x in rest {
+                let _ = image.ensure_edge(center, x);
+            }
+        }
+    }
+);
+
+/// Connects all surviving neighbours pairwise. Perfect stretch, quadratic
+/// edge growth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueHealer {
+    net: BaseNet,
+}
+
+impl_self_healer!(
+    CliqueHealer,
+    "clique-heal",
+    |image: &mut Graph, nbrs: &[NodeId]| {
+        for (i, &x) in nbrs.iter().enumerate() {
+            for &y in &nbrs[i + 1..] {
+                let _ = image.ensure_edge(x, y);
+            }
+        }
+    }
+);
+
+/// Connects the surviving neighbours by a fresh balanced binary tree
+/// (heap order over the sorted ids). This is "the Forgiving Graph without
+/// the haft machinery": per-deletion stretch is logarithmic, but because
+/// nothing is reused across deletions, degrees compound — the ablation
+/// E5/E1 quantify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryTreeHealer {
+    net: BaseNet,
+}
+
+impl_self_healer!(
+    BinaryTreeHealer,
+    "binary-tree-heal",
+    |image: &mut Graph, nbrs: &[NodeId]| {
+        for i in 1..nbrs.len() {
+            let _ = image.ensure_edge(nbrs[(i - 1) / 2], nbrs[i]);
+        }
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::{generators, traversal};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn hub_delete<H: SelfHealer>(mut h: H) -> H {
+        h.delete(n(0)).unwrap();
+        h
+    }
+
+    #[test]
+    fn no_heal_disconnects_stars() {
+        let h = hub_delete(NoHealer::from_graph(&generators::star(6)));
+        assert!(!traversal::is_connected(h.image()));
+        assert_eq!(h.image().edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_heal_builds_ring() {
+        let h = hub_delete(CycleHealer::from_graph(&generators::star(6)));
+        assert!(traversal::is_connected(h.image()));
+        assert!(h.image().iter().all(|v| h.image().degree(v) == 2));
+        assert_eq!(traversal::diameter_exact(h.image()), Some(2));
+    }
+
+    #[test]
+    fn cycle_heal_two_neighbours() {
+        let h = hub_delete(CycleHealer::from_graph(&generators::path(3)));
+        assert!(h.image().has_edge(n(1), n(2)));
+        assert_eq!(h.image().edge_count(), 1);
+    }
+
+    #[test]
+    fn star_heal_concentrates_degree() {
+        let h = hub_delete(StarHealer::from_graph(&generators::star(8)));
+        assert!(traversal::is_connected(h.image()));
+        assert_eq!(h.image().degree(n(1)), 6, "new centre absorbs everyone");
+    }
+
+    #[test]
+    fn clique_heal_gives_stretch_one() {
+        let h = hub_delete(CliqueHealer::from_graph(&generators::star(6)));
+        assert_eq!(traversal::diameter_exact(h.image()), Some(1));
+        assert_eq!(h.image().edge_count(), 5 * 4 / 2);
+    }
+
+    #[test]
+    fn binary_tree_heal_is_logarithmic_per_repair() {
+        let h = hub_delete(BinaryTreeHealer::from_graph(&generators::star(16)));
+        assert!(traversal::is_connected(h.image()));
+        let diam = traversal::diameter_exact(h.image()).unwrap();
+        assert!(diam <= 2 * 4, "binary tree over 15 nodes: diameter ≤ 8");
+        assert!(h.image().max_degree() <= 3);
+    }
+
+    #[test]
+    fn inserts_work_for_all() {
+        let mut h = CycleHealer::from_graph(&generators::path(3));
+        let v = SelfHealer::insert(&mut h, &[n(0), n(2)]).unwrap();
+        assert_eq!(v, n(3));
+        assert!(h.image().has_edge(v, n(0)));
+        assert!(h.ghost().has_edge(v, n(2)));
+        assert_eq!(
+            SelfHealer::insert(&mut h, &[]),
+            Err(EngineError::EmptyNeighbourhood)
+        );
+        assert_eq!(
+            SelfHealer::insert(&mut h, &[n(9)]),
+            Err(EngineError::NotAlive(n(9)))
+        );
+    }
+
+    #[test]
+    fn double_delete_errors() {
+        let mut h = NoHealer::from_graph(&generators::path(3));
+        SelfHealer::delete(&mut h, n(1)).unwrap();
+        assert_eq!(
+            SelfHealer::delete(&mut h, n(1)),
+            Err(EngineError::NotAlive(n(1)))
+        );
+    }
+
+    #[test]
+    fn ghost_never_shrinks() {
+        let mut h = CliqueHealer::from_graph(&generators::cycle(5));
+        SelfHealer::delete(&mut h, n(2)).unwrap();
+        assert_eq!(h.ghost().node_count(), 5);
+        assert_eq!(h.ghost().degree(n(2)), 2);
+    }
+}

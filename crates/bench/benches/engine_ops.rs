@@ -1,0 +1,72 @@
+//! B2 — reference-engine throughput: insertions and self-healing
+//! deletions (Theorem 1.3's sequential analogue).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_core::ForgivingGraph;
+use fg_graph::{generators, NodeId};
+use std::hint::black_box;
+
+fn bench_delete_hub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_delete_hub");
+    for &d in &[16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter_batched(
+                || ForgivingGraph::from_graph(&generators::star(d + 1)).expect("fresh"),
+                |mut fg| {
+                    fg.delete(black_box(NodeId::new(0))).expect("hub alive");
+                    fg
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cascade");
+    group.sample_size(20);
+    for &n in &[128usize, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    ForgivingGraph::from_graph(&generators::connected_erdos_renyi(
+                        n,
+                        8.0 / n as f64,
+                        7,
+                    ))
+                    .expect("fresh")
+                },
+                |mut fg| {
+                    for v in 0..(n as u32) / 2 {
+                        fg.delete(NodeId::new(v)).expect("alive");
+                    }
+                    fg
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("engine_insert_deg3", |b| {
+        b.iter_batched(
+            || ForgivingGraph::from_graph(&generators::cycle(64)).expect("fresh"),
+            |mut fg| {
+                for i in 0..64u32 {
+                    let t = NodeId::new(i % 64);
+                    let u = NodeId::new((i + 21) % 64);
+                    let w = NodeId::new((i + 42) % 64);
+                    fg.insert(black_box(&[t, u, w])).expect("legal insert");
+                }
+                fg
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_delete_hub, bench_cascade, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! B1 — haft operation throughput: build, strip, merge (paper §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_haft::{ops, Haft};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haft_build");
+    for &l in &[64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| Haft::build_from(black_box(0..l)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_strip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haft_strip");
+    for &l in &[63usize, 1023, 16383] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter_batched(
+                || Haft::build_from(0..l),
+                |h| ops::strip(black_box(h)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haft_merge");
+    for &l in &[64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter_batched(
+                || vec![Haft::build_from(0..l), Haft::build_from(0..l / 2), Haft::build_from(0..7)],
+                |hs| ops::merge(black_box(hs)),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_strip, bench_merge);
+criterion_main!(benches);

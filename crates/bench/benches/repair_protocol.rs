@@ -1,0 +1,54 @@
+//! B3 — distributed repair latency: full protocol runs to quiescence
+//! (the wall-clock face of Lemma 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_core::PlacementPolicy;
+use fg_dist::Network;
+use fg_graph::{generators, NodeId};
+use std::hint::black_box;
+
+fn bench_protocol_hub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_delete_hub");
+    group.sample_size(20);
+    for &d in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter_batched(
+                || Network::from_graph(&generators::star(d + 1), PlacementPolicy::Adjacent),
+                |mut net| {
+                    net.delete(black_box(NodeId::new(0))).expect("hub alive");
+                    net
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_cascade");
+    group.sample_size(10);
+    for &n in &[32usize, 96] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    Network::from_graph(
+                        &generators::connected_erdos_renyi(n, 8.0 / n as f64, 3),
+                        PlacementPolicy::Adjacent,
+                    )
+                },
+                |mut net| {
+                    for v in 0..(n as u32) / 4 {
+                        net.delete(NodeId::new(v)).expect("alive");
+                    }
+                    net
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_hub, bench_protocol_cascade);
+criterion_main!(benches);

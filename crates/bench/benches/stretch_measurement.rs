@@ -1,0 +1,35 @@
+//! B4 — measurement-layer throughput: exact and sampled stretch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_adversary::{run_attack, RandomDeleter};
+use fg_core::ForgivingGraph;
+use fg_graph::generators;
+use fg_metrics::{stretch_exact, stretch_sampled};
+use std::hint::black_box;
+
+fn attacked(n: usize) -> ForgivingGraph {
+    let mut fg =
+        ForgivingGraph::from_graph(&generators::connected_erdos_renyi(n, 8.0 / n as f64, 3))
+            .expect("fresh");
+    let mut adv = RandomDeleter::new(5, n / 2);
+    run_attack(&mut fg, &mut adv, n).expect("attack is legal");
+    fg
+}
+
+fn bench_stretch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stretch");
+    group.sample_size(20);
+    for &n in &[128usize, 512] {
+        let fg = attacked(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &fg, |b, fg| {
+            b.iter(|| stretch_exact(black_box(fg.image()), black_box(fg.ghost())));
+        });
+        group.bench_with_input(BenchmarkId::new("sampled16", n), &fg, |b, fg| {
+            b.iter(|| stretch_sampled(black_box(fg.image()), black_box(fg.ghost()), 16, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stretch);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E2 — Theorem 1.2: stretch vs `G'` never exceeds `⌈log₂ n⌉`.
+//!
+//! Deletes half of each workload and measures the exact worst-case pair
+//! stretch (sampled BFS sources for the larger sizes) against the bound.
+
+use fg_adversary::{run_attack, MaxDegreeDeleter, RandomDeleter};
+use fg_bench::{ceil_log2, engine};
+use fg_core::PlacementPolicy;
+use fg_metrics::{f2, stretch_exact, stretch_sampled, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E2 — network stretch vs G' (Theorem 1.2; bound ⌈log₂ n⌉)",
+        [
+            "workload", "n", "adversary", "max stretch", "mean", "bound", "within",
+        ],
+    );
+    for &workload in &["star", "er", "ba", "cycle"] {
+        for &n in &[64usize, 256, 1024] {
+            for adv_name in ["random", "max-degree"] {
+                let mut fg = engine(workload, n, 3, PlacementPolicy::Adjacent);
+                let floor = n / 2;
+                if adv_name == "random" {
+                    let mut adv = RandomDeleter::new(5, floor);
+                    run_attack(&mut fg, &mut adv, n).expect("attack is legal");
+                } else {
+                    let mut adv = MaxDegreeDeleter::new(floor);
+                    run_attack(&mut fg, &mut adv, n).expect("attack is legal");
+                }
+                let stretch = if n <= 256 {
+                    stretch_exact(fg.image(), fg.ghost())
+                } else {
+                    stretch_sampled(fg.image(), fg.ghost(), 48, 9)
+                };
+                let bound = ceil_log2(fg.nodes_ever());
+                table.push_row([
+                    workload.to_string(),
+                    n.to_string(),
+                    adv_name.to_string(),
+                    f2(stretch.max),
+                    f2(stretch.mean),
+                    bound.to_string(),
+                    (stretch.max <= bound as f64).to_string(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.to_markdown());
+}

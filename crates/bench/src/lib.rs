@@ -1,0 +1,43 @@
+//! # fg-bench — the experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md §5 and EXPERIMENTS.md):
+//! E1/E2 reproduce Theorem 1's degree and stretch bounds, E3 reproduces
+//! Lemma 4's repair costs from the message-passing protocol, E4 the
+//! Theorem 2 lower bound, E5/E9 the comparisons against the Forgiving
+//! Tree and naive healers, E6–E8 the haft lemmas and the reconstruction-
+//! tree distance claim, and E10 Lemma 3's helper accounting.
+//!
+//! Each binary prints markdown tables (the ones embedded in
+//! EXPERIMENTS.md) to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fg_core::{ForgivingGraph, PlacementPolicy};
+use fg_graph::Graph;
+
+/// The standard workload families the sweeps use.
+pub fn workload(name: &str, n: usize, seed: u64) -> Graph {
+    match name {
+        "star" => fg_graph::generators::star(n),
+        "cycle" => fg_graph::generators::cycle(n),
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            fg_graph::generators::grid(side, side.max(1))
+        }
+        "er" => fg_graph::generators::connected_erdos_renyi(n, 8.0 / n as f64, seed),
+        "ba" => fg_graph::generators::barabasi_albert(n, 2, seed),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Builds a Forgiving Graph over a named workload.
+pub fn engine(name: &str, n: usize, seed: u64, policy: PlacementPolicy) -> ForgivingGraph {
+    ForgivingGraph::from_graph_with_policy(&workload(name, n, seed), policy)
+        .expect("workloads are tombstone-free")
+}
+
+/// `⌈log₂ n⌉`, the paper's stretch bound.
+pub fn ceil_log2(n: usize) -> u32 {
+    (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1)
+}

@@ -1,0 +1,57 @@
+//! Error types for the Forgiving Graph engine.
+
+use fg_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::ForgivingGraph`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The node is unknown or already deleted.
+    NotAlive(NodeId),
+    /// An insertion listed no neighbours; new nodes must attach somewhere
+    /// or the insert-only graph `G'` would be permanently disconnected.
+    EmptyNeighbourhood,
+    /// An insertion listed the same neighbour twice.
+    DuplicateNeighbour(NodeId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NotAlive(v) => write!(f, "node {v} is not alive"),
+            EngineError::EmptyNeighbourhood => {
+                write!(f, "an inserted node needs at least one neighbour")
+            }
+            EngineError::DuplicateNeighbour(v) => {
+                write!(f, "neighbour {v} listed more than once")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            EngineError::NotAlive(NodeId::new(4)).to_string(),
+            "node n4 is not alive"
+        );
+        assert!(EngineError::EmptyNeighbourhood.to_string().contains("neighbour"));
+        assert!(EngineError::DuplicateNeighbour(NodeId::new(1))
+            .to_string()
+            .contains("more than once"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<EngineError>();
+    }
+}

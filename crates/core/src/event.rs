@@ -1,0 +1,68 @@
+//! Adversarial events: the two moves of the node-insert/delete model
+//! (paper Figure 1).
+
+use fg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One adversarial step: insert a node with chosen connections, or delete
+/// a node. The adversary is omniscient — strategies in `fg-adversary`
+/// compute these from the full current topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkEvent {
+    /// Insert a new node attached to the listed live nodes.
+    Insert {
+        /// The neighbours chosen by the adversary (distinct, live).
+        neighbors: Vec<NodeId>,
+    },
+    /// Delete the given live node.
+    Delete {
+        /// The victim.
+        node: NodeId,
+    },
+}
+
+impl NetworkEvent {
+    /// Convenience constructor for an insertion.
+    pub fn insert<I: IntoIterator<Item = NodeId>>(neighbors: I) -> Self {
+        NetworkEvent::Insert {
+            neighbors: neighbors.into_iter().collect(),
+        }
+    }
+
+    /// Convenience constructor for a deletion.
+    pub fn delete(node: NodeId) -> Self {
+        NetworkEvent::Delete { node }
+    }
+
+    /// Whether this event is a deletion.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, NetworkEvent::Delete { .. })
+    }
+}
+
+impl fmt::Display for NetworkEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkEvent::Insert { neighbors } => {
+                write!(f, "insert(deg {})", neighbors.len())
+            }
+            NetworkEvent::Delete { node } => write!(f, "delete({node})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let e = NetworkEvent::insert([NodeId::new(1), NodeId::new(2)]);
+        assert!(!e.is_delete());
+        assert_eq!(e.to_string(), "insert(deg 2)");
+        let d = NetworkEvent::delete(NodeId::new(7));
+        assert!(d.is_delete());
+        assert_eq!(d.to_string(), "delete(n7)");
+    }
+}

@@ -1,0 +1,114 @@
+//! The [`SelfHealer`] abstraction: anything that maintains a network under
+//! adversarial insertions and deletions.
+//!
+//! The Forgiving Graph, the Forgiving Tree, and the naive healing
+//! baselines all implement this trait, so adversaries (`fg-adversary`) and
+//! measurements (`fg-metrics`) can be written once and compared head to
+//! head — which is how the E4/E5/E9 experiments are built.
+
+use crate::error::EngineError;
+use crate::event::NetworkEvent;
+use fg_graph::{Graph, NodeId};
+
+/// A self-healing network under the paper's insert/delete attack model
+/// (Figure 1).
+///
+/// Implementations maintain two views:
+/// * the **image** — the network that actually exists right now, and
+/// * the **ghost** `G'` — everything ever inserted, ignoring deletions,
+///   which is the reference frame for the degree and stretch metrics.
+pub trait SelfHealer {
+    /// Short human-readable strategy name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Adversarially inserts a node attached to `neighbors`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject empty, duplicate or dead neighbour lists
+    /// with [`EngineError`].
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError>;
+
+    /// Adversarially deletes `v`, then runs this strategy's repair.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotAlive`] if `v` is unknown or already deleted.
+    fn delete(&mut self, v: NodeId) -> Result<(), EngineError>;
+
+    /// The current healed network.
+    fn image(&self) -> &Graph;
+
+    /// The insert-only graph `G'`.
+    fn ghost(&self) -> &Graph;
+
+    /// Whether `v` is currently alive.
+    fn is_alive(&self, v: NodeId) -> bool {
+        self.image().contains(v)
+    }
+
+    /// Applies one adversarial event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying insert/delete error.
+    fn apply_event(&mut self, event: &NetworkEvent) -> Result<(), EngineError> {
+        match event {
+            NetworkEvent::Insert { neighbors } => {
+                self.insert(neighbors)?;
+                Ok(())
+            }
+            NetworkEvent::Delete { node } => self.delete(*node),
+        }
+    }
+}
+
+impl SelfHealer for crate::ForgivingGraph {
+    fn name(&self) -> &'static str {
+        "forgiving-graph"
+    }
+
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+        crate::ForgivingGraph::insert(self, neighbors)
+    }
+
+    fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
+        crate::ForgivingGraph::delete(self, v).map(|_| ())
+    }
+
+    fn image(&self) -> &Graph {
+        crate::ForgivingGraph::image(self)
+    }
+
+    fn ghost(&self) -> &Graph {
+        crate::ForgivingGraph::ghost(self)
+    }
+
+    fn is_alive(&self, v: NodeId) -> bool {
+        crate::ForgivingGraph::is_alive(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ForgivingGraph;
+    use fg_graph::generators;
+
+    #[test]
+    fn forgiving_graph_is_a_self_healer() {
+        let mut fg = ForgivingGraph::from_graph(&generators::star(5)).unwrap();
+        let healer: &mut dyn SelfHealer = &mut fg;
+        assert_eq!(healer.name(), "forgiving-graph");
+        healer
+            .apply_event(&NetworkEvent::delete(NodeId::new(0)))
+            .unwrap();
+        assert!(!healer.is_alive(NodeId::new(0)));
+        assert_eq!(healer.image().node_count(), 4);
+        assert_eq!(healer.ghost().node_count(), 5);
+        healer
+            .apply_event(&NetworkEvent::insert([NodeId::new(1)]))
+            .unwrap();
+        assert_eq!(healer.image().node_count(), 5);
+    }
+}

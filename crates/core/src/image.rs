@@ -1,0 +1,214 @@
+//! The homomorphic image: the network that actually exists.
+//!
+//! Paper §3: "our actual graph is the homomorphic image of the [virtual]
+//! graph, under a graph homomorphism which fixes the actual nodes and maps
+//! each virtual node to the distinct actual node simulating it."
+//!
+//! Two virtual edges can map to the same processor pair, and a virtual
+//! edge between two nodes simulated by one processor maps to a self-loop.
+//! [`ImageGraph`] therefore keeps a reference count per processor pair
+//! (plus one count for a surviving original edge) and mirrors the
+//! *support* of that multiset into a simple [`Graph`], which is what the
+//! degree and stretch metrics read.
+
+use fg_graph::{EdgeKey, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Reference-counted multigraph over processors with a simple-graph view.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageGraph {
+    simple: Graph,
+    counts: BTreeMap<EdgeKey, u32>,
+    self_loops: u32,
+}
+
+impl ImageGraph {
+    /// An empty image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new processor; must be called in lockstep with the
+    /// ghost graph so ids align.
+    pub fn add_node(&mut self) -> NodeId {
+        self.simple.add_node()
+    }
+
+    /// The simple-graph view (distinct neighbours); this is `G_T` for the
+    /// paper's metrics.
+    pub fn simple(&self) -> &Graph {
+        &self.simple
+    }
+
+    /// Multiplicity of the processor pair `(u, v)` — original edge plus
+    /// virtual edges.
+    pub fn multiplicity(&self, u: NodeId, v: NodeId) -> u32 {
+        if u == v {
+            return 0;
+        }
+        self.counts.get(&EdgeKey::new(u, v)).copied().unwrap_or(0)
+    }
+
+    /// Multigraph degree of `v` (counts every virtual edge separately).
+    pub fn multi_degree(&self, v: NodeId) -> u32 {
+        self.simple
+            .neighbors(v)
+            .map(|u| self.multiplicity(v, u))
+            .sum()
+    }
+
+    /// Number of virtual edges whose endpoints collapsed onto a single
+    /// processor (dropped by the homomorphism).
+    pub fn self_loop_count(&self) -> u32 {
+        self.self_loops
+    }
+
+    /// Adds one edge unit between `u` and `v`. Self-loops are counted and
+    /// dropped.
+    pub fn inc(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            self.self_loops += 1;
+            return;
+        }
+        let key = EdgeKey::new(u, v);
+        let count = self.counts.entry(key).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.simple
+                .add_edge(u, v)
+                .expect("image simple graph out of sync on inc");
+        }
+    }
+
+    /// Removes one edge unit between `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair has no remaining multiplicity — the engine's
+    /// bookkeeping must never over-release.
+    pub fn dec(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            assert!(self.self_loops > 0, "no self-loop to release");
+            self.self_loops -= 1;
+            return;
+        }
+        let key = EdgeKey::new(u, v);
+        let count = self
+            .counts
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("releasing absent image edge {key}"));
+        *count -= 1;
+        if *count == 0 {
+            self.counts.remove(&key);
+            self.simple
+                .remove_edge(u, v)
+                .expect("image simple graph out of sync on dec");
+        }
+    }
+
+    /// Removes a processor that no longer has any incident multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edges are still incident — deletion must release them
+    /// all first (original and virtual alike).
+    pub fn remove_node(&mut self, v: NodeId) {
+        assert_eq!(
+            self.simple.degree(v),
+            0,
+            "processor {v} still has incident image edges"
+        );
+        self.simple
+            .remove_node(v)
+            .expect("removing unknown image node");
+    }
+
+    /// Consistency check: the simple view must be exactly the support of
+    /// the count map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    pub fn validate(&self) -> Result<(), String> {
+        for (key, &count) in &self.counts {
+            if count == 0 {
+                return Err(format!("zero-count entry for {key}"));
+            }
+            if !self.simple.has_edge(key.lo(), key.hi()) {
+                return Err(format!("count without simple edge for {key}"));
+            }
+        }
+        for e in self.simple.edges() {
+            if !self.counts.contains_key(&e) {
+                return Err(format!("simple edge without count for {e}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_collapse_to_simple_edges() {
+        let mut img = ImageGraph::new();
+        let a = img.add_node();
+        let b = img.add_node();
+        img.inc(a, b);
+        img.inc(b, a);
+        assert_eq!(img.multiplicity(a, b), 2);
+        assert_eq!(img.simple().degree(a), 1);
+        assert_eq!(img.multi_degree(a), 2);
+        img.dec(a, b);
+        assert!(img.simple().has_edge(a, b));
+        img.dec(a, b);
+        assert!(!img.simple().has_edge(a, b));
+        img.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loops_are_dropped_but_counted() {
+        let mut img = ImageGraph::new();
+        let a = img.add_node();
+        img.inc(a, a);
+        assert_eq!(img.self_loop_count(), 1);
+        assert_eq!(img.simple().degree(a), 0);
+        img.dec(a, a);
+        assert_eq!(img.self_loop_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing absent image edge")]
+    fn over_release_panics() {
+        let mut img = ImageGraph::new();
+        let a = img.add_node();
+        let b = img.add_node();
+        img.dec(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "still has incident image edges")]
+    fn remove_node_with_edges_panics() {
+        let mut img = ImageGraph::new();
+        let a = img.add_node();
+        let b = img.add_node();
+        img.inc(a, b);
+        img.remove_node(a);
+    }
+
+    #[test]
+    fn remove_isolated_node() {
+        let mut img = ImageGraph::new();
+        let a = img.add_node();
+        let b = img.add_node();
+        img.inc(a, b);
+        img.dec(a, b);
+        img.remove_node(a);
+        assert!(!img.simple().contains(a));
+        assert!(img.simple().contains(b));
+        img.validate().unwrap();
+    }
+}

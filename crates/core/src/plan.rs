@@ -1,0 +1,276 @@
+//! Pure merge planning: `ComputeHaft` (Algorithm A.9) as a deterministic
+//! function of exchanged data.
+//!
+//! In the distributed protocol, the anchors of `BT_v` exchange their
+//! primary-root lists and then *each* compute the same merge blueprint
+//! locally — no further coordination is needed because the algorithm is
+//! deterministic. This module is that computation, shared verbatim by the
+//! sequential engine (`fg-core`) and the message-passing protocol
+//! (`fg-dist`), which is what makes their states provably convergent.
+
+use crate::engine::PlacementPolicy;
+use crate::slot::{Slot, VKey};
+use serde::{Deserialize, Serialize};
+
+/// The wire description of a complete tree participating in a merge: what
+/// one anchor tells another about a primary root.
+///
+/// `rep_parent` (the representative leaf's parent) travels along so the
+/// Adjacent placement policy stays a pure function of exchanged data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTree {
+    /// Root of the complete tree.
+    pub root: VKey,
+    /// Leaf count (a power of two).
+    pub size: u32,
+    /// Height of the tree (`log₂ size` for complete trees).
+    pub height: u32,
+    /// The tree's free representative leaf.
+    pub rep: Slot,
+    /// The representative leaf's current parent (`None` if the tree is the
+    /// leaf itself).
+    pub rep_parent: Option<VKey>,
+}
+
+impl WireTree {
+    /// A singleton tree: one fresh leaf.
+    pub fn leaf(slot: Slot) -> Self {
+        WireTree {
+            root: slot.real(),
+            size: 1,
+            height: 0,
+            rep: slot,
+            rep_parent: None,
+        }
+    }
+
+    /// Whether the representative leaf hangs directly under the root (or
+    /// is the root), so a helper simulated by it collapses one image edge.
+    pub fn is_root_adjacent(&self) -> bool {
+        self.root == self.rep.real() || self.rep_parent == Some(self.root)
+    }
+}
+
+/// One helper creation: join `left` and `right` (in that child order)
+/// under a fresh helper simulated by `slot`, inheriting `rep` as the
+/// merged tree's representative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinStep {
+    /// Left child root (the complete/bigger tree).
+    pub left: VKey,
+    /// Right child root.
+    pub right: VKey,
+    /// The simulator slot for the new helper.
+    pub slot: Slot,
+    /// Representative inherited by the merged tree.
+    pub rep: Slot,
+    /// Leaf count of the merged tree.
+    pub size: u32,
+    /// Height of the merged tree.
+    pub height: u32,
+}
+
+/// The full blueprint for one `ComputeHaft` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HaftPlan {
+    /// Helper creations in execution order (phase 1 then phase 2).
+    pub joins: Vec<JoinStep>,
+    /// The resulting haft.
+    pub output: WireTree,
+    /// The distinct-size complete trees entering phase 2 — exactly what a
+    /// later Strip of the output haft recovers (ascending size order).
+    pub phase2_inputs: Vec<WireTree>,
+}
+
+impl HaftPlan {
+    /// The phase-2 spine connectors (helpers a later Strip will free):
+    /// every join beyond the first `joins.len() − (phase2_inputs.len() − 1)`
+    /// ... more simply, the slots of the last `phase2_inputs.len() − 1`
+    /// joins.
+    pub fn spine_slots(&self) -> Vec<Slot> {
+        let spine_count = self.phase2_inputs.len().saturating_sub(1);
+        self.joins[self.joins.len() - spine_count..]
+            .iter()
+            .map(|j| j.slot)
+            .collect()
+    }
+}
+
+/// Plans `ComputeHaft` over a non-empty forest of complete trees.
+///
+/// Mirrors Algorithm A.9: sort ascending by `(size, root)`, pair equal
+/// sizes with carry propagation (phase 1), then chain the distinct sizes
+/// under spine connectors with the bigger tree on the left (phase 2). The
+/// simulator for each join comes from the placement policy.
+///
+/// # Panics
+///
+/// Panics if `trees` is empty.
+pub fn plan_compute_haft(mut trees: Vec<WireTree>, policy: PlacementPolicy) -> HaftPlan {
+    assert!(!trees.is_empty(), "ComputeHaft needs at least one tree");
+    trees.sort_by_key(|t| (t.size, t.root));
+    let mut joins = Vec::new();
+
+    // Phase 1: carry propagation over equal sizes.
+    let mut i = 0;
+    while i + 1 < trees.len() {
+        if trees[i].size == trees[i + 1].size {
+            let a = trees.remove(i);
+            let b = trees.remove(i);
+            let joined = plan_join(a, b, policy, &mut joins);
+            let pos = trees.partition_point(|t| (t.size, t.root) <= (joined.size, joined.root));
+            trees.insert(pos, joined);
+            i = i.saturating_sub(1);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Phase 2: chain distinct sizes ascending; bigger tree goes left.
+    let phase2_inputs = trees.clone();
+    let mut iter = trees.into_iter();
+    let mut acc = iter.next().expect("checked non-empty");
+    for bigger in iter {
+        acc = plan_join(bigger, acc, policy, &mut joins);
+    }
+    HaftPlan {
+        joins,
+        output: acc,
+        phase2_inputs,
+    }
+}
+
+/// Plans one join of `left` and `right` (already in child order).
+fn plan_join(
+    left: WireTree,
+    right: WireTree,
+    policy: PlacementPolicy,
+    joins: &mut Vec<JoinStep>,
+) -> WireTree {
+    let provider_is_left = match policy {
+        PlacementPolicy::PaperExact => true,
+        PlacementPolicy::Adjacent => {
+            if left.is_root_adjacent() {
+                true
+            } else {
+                !right.is_root_adjacent()
+            }
+        }
+    };
+    let (slot, donor) = if provider_is_left {
+        (left.rep, right)
+    } else {
+        (right.rep, left)
+    };
+    let rep = donor.rep;
+    // The inherited representative keeps its parent — unless it *was* the
+    // donor tree's root (a singleton leaf), in which case it now hangs
+    // directly under the new helper. Keeping this exact lets the
+    // distributed protocol reuse plan outputs without re-reading state.
+    let rep_parent = if donor.root == rep.real() {
+        Some(slot.helper())
+    } else {
+        donor.rep_parent
+    };
+    let size = left.size + right.size;
+    let height = 1 + left.height.max(right.height);
+    joins.push(JoinStep {
+        left: left.root,
+        right: right.root,
+        slot,
+        rep,
+        size,
+        height,
+    });
+    WireTree {
+        root: slot.helper(),
+        size,
+        height,
+        rep,
+        rep_parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::NodeId;
+
+    fn slot(a: u32, b: u32) -> Slot {
+        Slot::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    fn singles(k: u32) -> Vec<WireTree> {
+        (1..=k).map(|i| WireTree::leaf(slot(i, 0))).collect()
+    }
+
+    #[test]
+    fn single_tree_plans_no_joins() {
+        let plan = plan_compute_haft(singles(1), PlacementPolicy::Adjacent);
+        assert!(plan.joins.is_empty());
+        assert_eq!(plan.output.size, 1);
+        assert_eq!(plan.phase2_inputs.len(), 1);
+        assert!(plan.spine_slots().is_empty());
+    }
+
+    #[test]
+    fn merge_of_k_singletons_uses_k_minus_1_joins_plus_spine() {
+        for k in 1..=32u32 {
+            let plan = plan_compute_haft(singles(k), PlacementPolicy::Adjacent);
+            assert_eq!(plan.output.size, k);
+            // Phase 1 produces the set-bit trees; phase 2 adds
+            // popcount−1 spine connectors; total = k−1 when k is a power
+            // of two... in general (k − popcount) + (popcount − 1).
+            let expect = (k - k.count_ones()) + (k.count_ones() - 1);
+            assert_eq!(plan.joins.len() as u32, expect, "k = {k}");
+            assert_eq!(plan.phase2_inputs.len() as u32, k.count_ones());
+            assert_eq!(plan.spine_slots().len() as u32, k.count_ones() - 1);
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = plan_compute_haft(singles(13), PlacementPolicy::Adjacent);
+        let b = plan_compute_haft(singles(13), PlacementPolicy::Adjacent);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_simulators_are_distinct_free_leaves() {
+        let plan = plan_compute_haft(singles(24), PlacementPolicy::PaperExact);
+        let mut used = std::collections::BTreeSet::new();
+        for j in &plan.joins {
+            assert!(used.insert(j.slot), "slot {} reused", j.slot);
+        }
+        // The final rep was never consumed.
+        assert!(!used.contains(&plan.output.rep));
+    }
+
+    #[test]
+    fn adjacency_policy_prefers_adjacent_provider() {
+        // A 2-tree with adjacent rep vs a 4-tree with buried rep.
+        let two = WireTree {
+            root: slot(1, 0).helper(),
+            size: 2,
+            height: 1,
+            rep: slot(2, 0),
+            rep_parent: Some(slot(1, 0).helper()),
+        };
+        let four = WireTree {
+            root: slot(3, 0).helper(),
+            size: 4,
+            height: 2,
+            rep: slot(4, 0),
+            rep_parent: Some(slot(5, 0).helper()),
+        };
+        let plan = plan_compute_haft(vec![four, two], PlacementPolicy::Adjacent);
+        assert_eq!(plan.joins.len(), 1);
+        // Phase 2 join: left = four (bigger), right = two; the adjacent
+        // provider is `two`.
+        assert_eq!(plan.joins[0].slot, slot(2, 0));
+        assert_eq!(plan.joins[0].left, slot(3, 0).helper());
+        // Paper-exact would have used the bigger (left) tree's rep.
+        let paper = plan_compute_haft(vec![four, two], PlacementPolicy::PaperExact);
+        assert_eq!(paper.joins[0].slot, slot(4, 0));
+    }
+}

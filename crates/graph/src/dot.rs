@@ -1,0 +1,63 @@
+//! Graphviz DOT export for debugging and the example binaries.
+
+use crate::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders `g` as a Graphviz `graph` document.
+///
+/// Node labels default to their id; `highlight` nodes are filled red —
+/// the examples use this to mark deleted-node neighbourhoods and helper
+/// assignments.
+///
+/// # Examples
+///
+/// ```
+/// use fg_graph::{generators, dot_string};
+///
+/// let g = generators::star(4);
+/// let dot = dot_string(&g, "star", &[]);
+/// assert!(dot.starts_with("graph star {"));
+/// ```
+pub fn dot_string(g: &Graph, name: &str, highlight: &[NodeId]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for v in g.iter() {
+        if highlight.contains(&v) {
+            let _ = writeln!(out, "  {} [style=filled, fillcolor=salmon];", v.raw());
+        } else {
+            let _ = writeln!(out, "  {};", v.raw());
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", e.lo().raw(), e.hi().raw());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = generators::path(3);
+        let dot = dot_string(&g, "p3", &[NodeId::new(1)]);
+        assert!(dot.contains("graph p3 {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("1 [style=filled"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn skips_removed_nodes() {
+        let mut g = generators::path(3);
+        g.remove_node(NodeId::new(2)).unwrap();
+        let dot = dot_string(&g, "g", &[]);
+        assert!(!dot.contains("  2;"));
+        assert!(!dot.contains("1 -- 2"));
+    }
+}

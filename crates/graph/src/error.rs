@@ -1,0 +1,55 @@
+//! Error types for graph operations.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible graph operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The referenced node does not exist or has been removed.
+    NodeNotFound(NodeId),
+    /// The referenced edge does not exist.
+    EdgeNotFound(NodeId, NodeId),
+    /// The edge already exists (graphs here are simple).
+    DuplicateEdge(NodeId, NodeId),
+    /// A self-loop was requested; the graphs in this workspace are simple.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(v) => write!(f, "node {v} not found or removed"),
+            GraphError::EdgeNotFound(u, v) => write!(f, "edge ({u}, {v}) not found"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::SelfLoop(v) => write!(f, "self-loop at {v} rejected"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GraphError::NodeNotFound(NodeId::new(3));
+        assert_eq!(e.to_string(), "node n3 not found or removed");
+        let e = GraphError::EdgeNotFound(NodeId::new(1), NodeId::new(2));
+        assert!(e.to_string().contains("edge"));
+        let e = GraphError::DuplicateEdge(NodeId::new(1), NodeId::new(2));
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::SelfLoop(NodeId::new(9));
+        assert!(e.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,387 @@
+//! A simple undirected graph with stable node ids and O(log d) edge updates.
+//!
+//! This is the substrate shared by every layer of the workspace: the
+//! insert-only ghost graph `G'`, the healed image graph `G`, the baselines
+//! and the distributed simulator all store their topology in a [`Graph`].
+//!
+//! Nodes are never re-numbered: removing a node leaves a tombstone so that
+//! ids stay valid for the lifetime of the experiment, matching the paper's
+//! model where `n` counts every node ever seen.
+
+use crate::{EdgeKey, GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An undirected simple graph over dense [`NodeId`]s with tombstoned removal.
+///
+/// Adjacency sets are ordered (`BTreeSet`) so that every iteration order in
+/// the workspace is deterministic; the repair protocol depends on this for
+/// reproducibility.
+///
+/// # Examples
+///
+/// ```
+/// use fg_graph::Graph;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let c = g.add_node();
+/// g.add_edge(a, b)?;
+/// g.add_edge(b, c)?;
+/// assert_eq!(g.degree(b), 2);
+/// assert_eq!(g.node_count(), 3);
+/// g.remove_node(b)?;
+/// assert_eq!(g.node_count(), 2);
+/// assert!(!g.has_edge(a, b));
+/// # Ok::<(), fg_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<BTreeSet<NodeId>>,
+    alive: Vec<bool>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Graph {
+            adjacency: Vec::with_capacity(n),
+            alive: Vec::with_capacity(n),
+            live_nodes: 0,
+            live_edges: 0,
+        }
+    }
+
+    /// Creates a graph with `n` live nodes (ids `0..n`) and no edges.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![BTreeSet::new(); n],
+            alive: vec![true; n],
+            live_nodes: n,
+            live_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list, creating nodes `0..=max_id` as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on self-loops or duplicate edges.
+    pub fn from_edges<I>(edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::new();
+        for (u, v) in edges {
+            let need = u.index().max(v.index()) + 1;
+            while g.adjacency.len() < need {
+                g.add_node();
+            }
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.adjacency.len() as u32);
+        self.adjacency.push(BTreeSet::new());
+        self.alive.push(true);
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Number of live (non-removed) nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of node ids ever created, including removed ones.
+    ///
+    /// This is the paper's `n`: "the total number of vertices seen so far".
+    pub fn nodes_ever(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Whether `v` was ever created and has not been removed.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.alive.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether the live edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency
+            .get(u.index())
+            .is_some_and(|adj| adj.contains(&v))
+    }
+
+    /// Degree of `v` (0 for removed/unknown nodes).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency.get(v.index()).map_or(0, BTreeSet::len)
+    }
+
+    /// Maximum degree over live nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.iter()
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over live node ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| NodeId::new(i as u32))
+    }
+
+    /// Iterates over the neighbours of `v` in increasing id order.
+    ///
+    /// Returns an empty iterator for removed or unknown nodes.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency
+            .get(v.index())
+            .into_iter()
+            .flat_map(|adj| adj.iter().copied())
+    }
+
+    /// Collects the neighbours of `v` into a vector (increasing id order).
+    pub fn neighbor_vec(&self, v: NodeId) -> Vec<NodeId> {
+        self.neighbors(v).collect()
+    }
+
+    /// Iterates over all live edges, each reported once with `lo < hi`.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeKey> + '_ {
+        self.iter().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| EdgeKey::new(u, v))
+        })
+    }
+
+    /// Adds the edge `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::SelfLoop`] if `u == v`,
+    /// * [`GraphError::NodeNotFound`] if either endpoint is missing,
+    /// * [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !self.contains(u) {
+            return Err(GraphError::NodeNotFound(u));
+        }
+        if !self.contains(v) {
+            return Err(GraphError::NodeNotFound(v));
+        }
+        if !self.adjacency[u.index()].insert(v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        self.adjacency[v.index()].insert(u);
+        self.live_edges += 1;
+        Ok(())
+    }
+
+    /// Adds the edge `(u, v)` if absent; returns whether it was added.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::add_edge`], except duplicates are tolerated.
+    pub fn ensure_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge(..)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes the edge `(u, v)`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::EdgeNotFound`] if the edge does not exist.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if !self.has_edge(u, v) {
+            return Err(GraphError::EdgeNotFound(u, v));
+        }
+        self.adjacency[u.index()].remove(&v);
+        self.adjacency[v.index()].remove(&u);
+        self.live_edges -= 1;
+        Ok(())
+    }
+
+    /// Removes node `v` and all incident edges, returning its former
+    /// neighbours in increasing id order.
+    ///
+    /// The id is tombstoned, never reused.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeNotFound`] if `v` is missing or already removed.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        if !self.contains(v) {
+            return Err(GraphError::NodeNotFound(v));
+        }
+        let neighbours: Vec<NodeId> = self.adjacency[v.index()].iter().copied().collect();
+        for &u in &neighbours {
+            self.adjacency[u.index()].remove(&v);
+        }
+        self.live_edges -= neighbours.len();
+        self.adjacency[v.index()].clear();
+        self.alive[v.index()] = false;
+        self.live_nodes -= 1;
+        Ok(neighbours)
+    }
+
+    /// Sum of degrees over live nodes (= 2 × edge count); useful in tests.
+    pub fn degree_sum(&self) -> usize {
+        self.iter().map(|v| self.degree(v)).sum()
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for Graph {
+    /// Extends the graph with edges, growing the node set as needed and
+    /// ignoring duplicates.
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
+        for (u, v) in iter {
+            let need = u.index().max(v.index()) + 1;
+            while self.adjacency.len() < need {
+                self.add_node();
+            }
+            let _ = self.ensure_edge(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.iter().count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(n(1)), 2);
+        assert!(g.has_edge(n(1), n(0)));
+        assert_eq!(g.neighbor_vec(n(1)), vec![n(0), n(2)]);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut g = Graph::with_nodes(2);
+        assert_eq!(g.add_edge(n(0), n(0)), Err(GraphError::SelfLoop(n(0))));
+        g.add_edge(n(0), n(1)).unwrap();
+        assert_eq!(
+            g.add_edge(n(1), n(0)),
+            Err(GraphError::DuplicateEdge(n(1), n(0)))
+        );
+        assert_eq!(g.ensure_edge(n(1), n(0)), Ok(false));
+    }
+
+    #[test]
+    fn rejects_missing_nodes() {
+        let mut g = Graph::with_nodes(1);
+        assert_eq!(g.add_edge(n(0), n(5)), Err(GraphError::NodeNotFound(n(5))));
+        assert_eq!(
+            g.remove_edge(n(0), n(5)),
+            Err(GraphError::EdgeNotFound(n(0), n(5)))
+        );
+    }
+
+    #[test]
+    fn remove_node_tombstones_and_reports_neighbours() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(0), n(2)).unwrap();
+        g.add_edge(n(0), n(3)).unwrap();
+        let nbrs = g.remove_node(n(0)).unwrap();
+        assert_eq!(nbrs, vec![n(1), n(2), n(3)]);
+        assert!(!g.contains(n(0)));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.nodes_ever(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.remove_node(n(0)), Err(GraphError::NodeNotFound(n(0))));
+        // Id is never reused.
+        let fresh = g.add_node();
+        assert_eq!(fresh, n(4));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(0), n(2)).unwrap();
+        let edges: Vec<EdgeKey> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(g.degree_sum(), 6);
+    }
+
+    #[test]
+    fn from_edges_builds_nodes() {
+        let g = Graph::from_edges([(n(0), n(2)), (n(2), n(1))]).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn extend_ignores_duplicates() {
+        let mut g = Graph::new();
+        g.extend([(n(0), n(1)), (n(0), n(1)), (n(1), n(2))]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn graph_implements_common_traits() {
+        fn assert_traits<T: Clone + std::fmt::Debug + PartialEq + Send + Sync>() {}
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_traits::<Graph>();
+        assert_serde::<Graph>();
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(n(0), n(1)).unwrap();
+        assert_eq!(g.clone(), g);
+    }
+
+    #[test]
+    fn removed_nodes_have_empty_neighbourhoods() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.remove_node(n(1)).unwrap();
+        assert_eq!(g.degree(n(1)), 0);
+        assert_eq!(g.neighbors(n(1)).count(), 0);
+        assert_eq!(g.neighbor_vec(n(0)), Vec::<NodeId>::new());
+    }
+}

@@ -1,0 +1,201 @@
+//! Node identifiers.
+//!
+//! Every processor in the network carries a unique, totally ordered
+//! [`NodeId`]. The Forgiving Graph protocol relies on this order: the
+//! deterministic construction of the repair tree `BT_v` and the tie-breaking
+//! inside `ComputeHaft` (Algorithm A.9 of the paper) both sort by id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unique identifier for a node (processor) in the network.
+///
+/// `NodeId`s are dense small integers handed out by the containers in this
+/// workspace; they index directly into adjacency arrays. The type is a
+/// newtype over `u32` so that indices, counts and ids cannot be confused.
+///
+/// # Examples
+///
+/// ```
+/// use fg_graph::NodeId;
+///
+/// let a = NodeId::new(7);
+/// assert_eq!(a.index(), 7);
+/// assert_eq!(format!("{a}"), "n7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index backing this id, for use as an array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// An undirected edge, stored with its endpoints in sorted order so that
+/// `(u, v)` and `(v, u)` compare and hash identically.
+///
+/// # Examples
+///
+/// ```
+/// use fg_graph::{EdgeKey, NodeId};
+///
+/// let e1 = EdgeKey::new(NodeId::new(3), NodeId::new(1));
+/// let e2 = EdgeKey::new(NodeId::new(1), NodeId::new(3));
+/// assert_eq!(e1, e2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeKey {
+    lo: NodeId,
+    hi: NodeId,
+}
+
+impl EdgeKey {
+    /// Creates a canonical (sorted) edge key between two distinct endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`; the graphs in this workspace are simple.
+    #[inline]
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "self-loops are not representable as EdgeKey");
+        if a < b {
+            EdgeKey { lo: a, hi: b }
+        } else {
+            EdgeKey { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub const fn lo(self) -> NodeId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub const fn hi(self) -> NodeId {
+        self.hi
+    }
+
+    /// Both endpoints, smaller first.
+    #[inline]
+    pub const fn endpoints(self) -> (NodeId, NodeId) {
+        (self.lo, self.hi)
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, from: NodeId) -> NodeId {
+        if from == self.lo {
+            self.hi
+        } else if from == self.hi {
+            self.lo
+        } else {
+            panic!("{from} is not an endpoint of {self}");
+        }
+    }
+}
+
+impl fmt::Display for EdgeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NodeId::from(42u32), id);
+    }
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn edge_key_is_canonical() {
+        let e = EdgeKey::new(NodeId::new(9), NodeId::new(4));
+        assert_eq!(e.lo(), NodeId::new(4));
+        assert_eq!(e.hi(), NodeId::new(9));
+        assert_eq!(e.endpoints(), (NodeId::new(4), NodeId::new(9)));
+    }
+
+    #[test]
+    fn edge_key_other_endpoint() {
+        let e = EdgeKey::new(NodeId::new(1), NodeId::new(2));
+        assert_eq!(e.other(NodeId::new(1)), NodeId::new(2));
+        assert_eq!(e.other(NodeId::new(2)), NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_key_other_panics_for_non_endpoint() {
+        let e = EdgeKey::new(NodeId::new(1), NodeId::new(2));
+        let _ = e.other(NodeId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_key_rejects_self_loop() {
+        let _ = EdgeKey::new(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(
+            EdgeKey::new(NodeId::new(3), NodeId::new(1)).to_string(),
+            "(n1-n3)"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Breadth-first traversal, distances, components and diameter.
+//!
+//! Everything the measurement layer needs to evaluate the paper's success
+//! metrics: `dist(x, y, G_T)` against `dist(x, y, G'_T)` (network stretch,
+//! Figure 1 of the paper) and diameters for the Forgiving Tree comparison.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// The distance vector produced by a BFS from one source.
+///
+/// Index by [`NodeId::index`]; `None` means unreachable (or removed).
+pub type DistanceVec = Vec<Option<u32>>;
+
+/// Runs a BFS from `src` and returns distances to every node id ever created.
+///
+/// Removed nodes and nodes in other components map to `None`. Returns a
+/// vector of `None` if `src` itself is not live.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> DistanceVec {
+    let mut dist: DistanceVec = vec![None; g.nodes_ever()];
+    if !g.contains(src) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Some(0);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parents from `src`: `parent[v] = Some(u)` when `u` discovered `v`.
+///
+/// `parent[src] = Some(src)` marks the root; unreachable nodes are `None`.
+pub fn bfs_parents(g: &Graph, src: NodeId) -> Vec<Option<NodeId>> {
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.nodes_ever()];
+    if !g.contains(src) {
+        return parent;
+    }
+    let mut queue = VecDeque::new();
+    parent[src.index()] = Some(src);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if parent[v.index()].is_none() {
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Length of the shortest path between `u` and `v`, if any.
+///
+/// Uses an early-exit BFS from `u`.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+    if !g.contains(u) || !g.contains(v) {
+        return None;
+    }
+    if u == v {
+        return Some(0);
+    }
+    let mut dist: DistanceVec = vec![None; g.nodes_ever()];
+    let mut queue = VecDeque::new();
+    dist[u.index()] = Some(0);
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x.index()].expect("queued nodes have distances");
+        for y in g.neighbors(x) {
+            if dist[y.index()].is_none() {
+                if y == v {
+                    return Some(dx + 1);
+                }
+                dist[y.index()] = Some(dx + 1);
+                queue.push_back(y);
+            }
+        }
+    }
+    None
+}
+
+/// Whether all live nodes are mutually reachable.
+///
+/// Vacuously true for graphs with zero or one live node.
+pub fn is_connected(g: &Graph) -> bool {
+    let mut nodes = g.iter();
+    let Some(first) = nodes.next() else {
+        return true;
+    };
+    let dist = bfs_distances(g, first);
+    g.iter().all(|v| dist[v.index()].is_some())
+}
+
+/// Partitions the live nodes into connected components (each sorted, the
+/// list sorted by smallest member).
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.nodes_ever()];
+    let mut components = Vec::new();
+    for root in g.iter() {
+        if seen[root.index()] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::new();
+        seen[root.index()] = true;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            component.push(u);
+            for v in g.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Eccentricity of `v`: the greatest distance from `v` to any reachable node.
+///
+/// Returns `None` when `v` is not live.
+pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
+    if !g.contains(v) {
+        return None;
+    }
+    Some(
+        bfs_distances(g, v)
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0),
+    )
+}
+
+/// Exact diameter: the largest eccentricity over live nodes, ignoring
+/// cross-component pairs. `None` for an empty graph.
+///
+/// Runs a BFS per node — O(n·m) — fine for the experiment sizes (n ≤ a few
+/// thousand); larger sweeps use [`diameter_double_sweep`].
+pub fn diameter_exact(g: &Graph) -> Option<u32> {
+    g.iter().map(|v| eccentricity(g, v).unwrap_or(0)).max()
+}
+
+/// A fast lower bound on the diameter via the classic double-sweep
+/// heuristic: BFS from an arbitrary node, then BFS again from the farthest
+/// node found. Exact on trees.
+pub fn diameter_double_sweep(g: &Graph) -> Option<u32> {
+    let first = g.iter().next()?;
+    let d1 = bfs_distances(g, first);
+    let far = g
+        .iter()
+        .filter_map(|v| d1[v.index()].map(|d| (d, v)))
+        .max()
+        .map(|(_, v)| v)?;
+    eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphError;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path_graph(len: usize) -> Graph {
+        let mut g = Graph::with_nodes(len);
+        for i in 0..len.saturating_sub(1) {
+            g.add_edge(n(i as u32), n(i as u32 + 1)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_from_removed_node_is_empty() {
+        let mut g = path_graph(3);
+        g.remove_node(n(0)).unwrap();
+        assert!(bfs_distances(&g, n(0)).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn distance_early_exit_matches_bfs() {
+        let g = path_graph(6);
+        assert_eq!(distance(&g, n(1), n(4)), Some(3));
+        assert_eq!(distance(&g, n(2), n(2)), Some(0));
+    }
+
+    #[test]
+    fn distance_across_components_is_none() {
+        let mut g = path_graph(4);
+        g.remove_edge(n(1), n(2)).unwrap();
+        assert_eq!(distance(&g, n(0), n(3)), None);
+        assert!(!is_connected(&g));
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![n(0), n(1)], vec![n(2), n(3)]]);
+    }
+
+    #[test]
+    fn connectivity_trivial_cases() {
+        let g = Graph::new();
+        assert!(is_connected(&g));
+        let g = Graph::with_nodes(1);
+        assert!(is_connected(&g));
+        let g = Graph::with_nodes(2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() -> Result<(), GraphError> {
+        let g = path_graph(7);
+        assert_eq!(diameter_exact(&g), Some(6));
+        assert_eq!(diameter_double_sweep(&g), Some(6));
+
+        let mut c = path_graph(6);
+        c.add_edge(n(5), n(0))?;
+        assert_eq!(diameter_exact(&c), Some(3));
+        Ok(())
+    }
+
+    #[test]
+    fn eccentricity_of_center() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, n(2)), Some(2));
+        assert_eq!(eccentricity(&g, n(0)), Some(4));
+        let mut g2 = g.clone();
+        g2.remove_node(n(2)).unwrap();
+        assert_eq!(eccentricity(&g2, n(2)), None);
+    }
+
+    #[test]
+    fn bfs_parents_form_tree() {
+        let g = path_graph(4);
+        let p = bfs_parents(&g, n(0));
+        assert_eq!(p[0], Some(n(0)));
+        assert_eq!(p[1], Some(n(0)));
+        assert_eq!(p[2], Some(n(1)));
+        assert_eq!(p[3], Some(n(2)));
+    }
+
+    #[test]
+    fn double_sweep_is_lower_bound() {
+        // Star: exact diameter 2; double sweep finds it (tree ⇒ exact).
+        let mut g = Graph::with_nodes(6);
+        for i in 1..6 {
+            g.add_edge(n(0), n(i)).unwrap();
+        }
+        assert_eq!(diameter_double_sweep(&g), Some(2));
+        assert_eq!(diameter_exact(&g), Some(2));
+    }
+}

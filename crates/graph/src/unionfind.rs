@@ -1,0 +1,148 @@
+//! Disjoint-set forest (union–find) with path halving and union by size.
+//!
+//! Used by the core engine to group reconstruction-tree fragments after a
+//! deletion shatters them, and by tests to cross-check connectivity.
+
+/// A disjoint-set forest over `0..len` with near-constant-time operations.
+///
+/// # Examples
+///
+/// ```
+/// use fg_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Adds a fresh singleton and returns its index.
+    pub fn push(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.size.push(1);
+        self.sets += 1;
+        i
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_at_start() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.set_size(1), 1);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.set_size(2), 3);
+        assert!(uf.connected(0, 2));
+    }
+
+    #[test]
+    fn push_adds_singletons() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        let a = uf.push();
+        let b = uf.push();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(uf.set_count(), 2);
+        uf.union(a, b);
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn transitive_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.connected(0, 99));
+        assert_eq!(uf.set_size(42), 100);
+    }
+}

@@ -1,0 +1,107 @@
+//! The haft ↔ binary-number correspondence (Lemma 1.2, Figure 5).
+//!
+//! A haft on `l` leaves decomposes into one complete tree per set bit of
+//! `l`, and merging hafts adds their leaf counts in binary. These helpers
+//! make that correspondence executable so tests and the E7 experiment can
+//! assert it directly.
+
+/// The complete-tree sizes of `haft(l)` in descending order: the powers of
+/// two of `l`'s set bits.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fg_haft::binary::set_bit_sizes(13), vec![8, 4, 1]); // 0b1101
+/// assert_eq!(fg_haft::binary::set_bit_sizes(1), vec![1]);
+/// ```
+pub fn set_bit_sizes(l: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(l.count_ones() as usize);
+    let mut bit = usize::BITS;
+    while bit > 0 {
+        bit -= 1;
+        let size = 1usize << bit;
+        if l & size != 0 {
+            out.push(size);
+        }
+    }
+    out
+}
+
+/// Number of connector ("spine") nodes in `haft(l)`: `popcount(l) − 1`.
+///
+/// These are the nodes the Strip operation removes (Lemma 2).
+///
+/// # Panics
+///
+/// Panics if `l == 0`.
+pub fn spine_len(l: usize) -> usize {
+    assert!(l > 0, "a haft has at least one leaf");
+    l.count_ones() as usize - 1
+}
+
+/// Number of internal (helper) nodes in any binary tree with `l` leaves in
+/// which every internal node has two children: `l − 1`.
+///
+/// This is why the representative mechanism always finds a free simulator:
+/// a reconstruction tree over `l` neighbours needs only `l − 1` helpers.
+///
+/// # Panics
+///
+/// Panics if `l == 0`.
+pub fn helper_count(l: usize) -> usize {
+    assert!(l > 0, "a haft has at least one leaf");
+    l - 1
+}
+
+/// The depth `⌈log₂ l⌉` that Lemma 1.3 guarantees for `haft(l)`.
+///
+/// # Panics
+///
+/// Panics if `l == 0`.
+pub fn expected_depth(l: usize) -> u32 {
+    assert!(l > 0, "a haft has at least one leaf");
+    (usize::BITS - (l - 1).leading_zeros()).min(usize::BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Haft;
+
+    #[test]
+    fn set_bit_sizes_examples() {
+        assert_eq!(set_bit_sizes(7), vec![4, 2, 1]);
+        assert_eq!(set_bit_sizes(8), vec![8]);
+        assert_eq!(set_bit_sizes(12), vec![8, 4]);
+    }
+
+    #[test]
+    fn expected_depth_is_ceil_log2() {
+        assert_eq!(expected_depth(1), 0);
+        assert_eq!(expected_depth(2), 1);
+        assert_eq!(expected_depth(3), 2);
+        assert_eq!(expected_depth(4), 2);
+        assert_eq!(expected_depth(5), 3);
+        assert_eq!(expected_depth(1024), 10);
+        assert_eq!(expected_depth(1025), 11);
+    }
+
+    #[test]
+    fn helpers_and_spine_count() {
+        assert_eq!(helper_count(1), 0);
+        assert_eq!(helper_count(9), 8);
+        assert_eq!(spine_len(8), 0);
+        assert_eq!(spine_len(7), 2);
+    }
+
+    #[test]
+    fn consistency_with_built_hafts() {
+        for l in 1..=200usize {
+            let h = Haft::build_from(0..l);
+            assert_eq!(h.primary_root_sizes(), set_bit_sizes(l));
+            assert_eq!(h.depth(), expected_depth(l));
+            // Every internal node (spine connectors included) is a helper.
+            assert_eq!(h.node_count(), l + helper_count(l));
+        }
+    }
+}

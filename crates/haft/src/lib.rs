@@ -1,0 +1,45 @@
+//! # fg-haft — half-full trees
+//!
+//! The balanced binary trees at the heart of the [Forgiving Graph]
+//! (Hayes, Saia, Trehan; PODC 2009): every deleted node is replaced by a
+//! *Reconstruction Tree*, which is a **half-full tree** (haft) over the
+//! deleted node's surviving neighbours.
+//!
+//! A haft is a rooted binary tree in which every internal node has exactly
+//! two children and the left child roots a complete subtree holding at
+//! least half the leaves below that node. The crate implements the paper's
+//! Section 4 in full:
+//!
+//! * [`Haft::build_from`] — the unique `haft(l)` (Lemma 1.1),
+//! * [`Haft::depth`] — always `⌈log₂ l⌉` (Lemma 1.3),
+//! * [`ops::strip`] — decomposition into `popcount(l)` complete trees
+//!   (Lemma 1.2 / Lemma 2, Figure 3),
+//! * [`ops::merge`] — combination isomorphic to binary addition
+//!   (Figure 5), and
+//! * [`binary`] — the executable haft ↔ binary-number correspondence.
+//!
+//! [Forgiving Graph]: https://arxiv.org/abs/0902.2501
+//!
+//! ## Example
+//!
+//! ```
+//! use fg_haft::{ops, Haft};
+//!
+//! // 5 + 2 + 1 = 8: merging is binary addition, so the result is complete.
+//! let merged = ops::merge(vec![
+//!     Haft::build_from(0..5),
+//!     Haft::build_from(0..2),
+//!     Haft::singleton(0),
+//! ]);
+//! assert_eq!(merged.leaf_count(), 8);
+//! assert!(merged.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod ops;
+mod tree;
+
+pub use tree::{Haft, HaftNode, HaftViolation, NodeIdx};

@@ -1,0 +1,284 @@
+//! The two haft operations of paper §4.1: **Strip** and **Merge**.
+//!
+//! *Strip* (§4.1.1, Lemma 2) removes the `popcount(l) − 1` connector nodes
+//! along the right spine, leaving the forest of maximal complete subtrees
+//! (the subtrees rooted at *primary roots*).
+//!
+//! *Merge* (§4.1.2, Figure 5) combines any number of hafts into one. It is
+//! isomorphic to binary addition of the leaf counts: strip everything to
+//! complete trees, repeatedly pair equal-sized trees (carry propagation),
+//! then chain the remaining distinct-sized trees along a right spine.
+
+use crate::tree::{Arena, Haft, HaftNode, NodeIdx};
+
+/// Strips a haft into its forest of maximal complete subtrees, in
+/// descending size order (Lemma 2). The connector ("spine") nodes are
+/// discarded — in the full protocol their simulators are freed.
+///
+/// A complete haft strips to itself.
+///
+/// # Examples
+///
+/// ```
+/// use fg_haft::{Haft, ops};
+///
+/// let h = Haft::build_from(0..7);
+/// let forest = ops::strip(h);
+/// let sizes: Vec<usize> = forest.iter().map(Haft::leaf_count).collect();
+/// assert_eq!(sizes, vec![4, 2, 1]); // 7 = 0b111
+/// ```
+pub fn strip<L>(haft: Haft<L>) -> Vec<Haft<L>> {
+    let root = haft.root();
+    let mut nodes: Vec<Option<HaftNode<L>>> = haft.into_nodes().into_iter().map(Some).collect();
+    let mut out = Vec::new();
+    let mut idx = root;
+    loop {
+        let complete = nodes[idx]
+            .as_ref()
+            .expect("spine nodes visited once")
+            .is_complete();
+        if complete {
+            out.push(extract(&mut nodes, idx));
+            return out;
+        }
+        let (left, right) = match nodes[idx].take().expect("spine nodes visited once") {
+            HaftNode::Internal { left, right, .. } => (left, right),
+            HaftNode::Leaf { .. } => unreachable!("leaves are complete"),
+        };
+        out.push(extract(&mut nodes, left));
+        idx = right;
+    }
+}
+
+/// Moves the subtree rooted at `idx` out of `nodes` into a fresh haft.
+fn extract<L>(nodes: &mut [Option<HaftNode<L>>], idx: NodeIdx) -> Haft<L> {
+    let mut arena: Vec<HaftNode<L>> = Vec::new();
+    let root = extract_rec(nodes, idx, &mut arena);
+    Haft::from_arena(arena, root)
+}
+
+fn extract_rec<L>(
+    nodes: &mut [Option<HaftNode<L>>],
+    idx: NodeIdx,
+    arena: &mut Vec<HaftNode<L>>,
+) -> NodeIdx {
+    match nodes[idx].take().expect("subtree nodes visited once") {
+        HaftNode::Leaf { payload } => {
+            arena.push(HaftNode::Leaf { payload });
+            arena.len() - 1
+        }
+        HaftNode::Internal {
+            left,
+            right,
+            leaves,
+            height,
+        } => {
+            let l = extract_rec(nodes, left, arena);
+            let r = extract_rec(nodes, right, arena);
+            arena.push(HaftNode::Internal {
+                left: l,
+                right: r,
+                leaves,
+                height,
+            });
+            arena.len() - 1
+        }
+    }
+}
+
+/// Merges any number of hafts into a single haft whose leaf count is the
+/// sum of the inputs' (binary addition, Figure 5).
+///
+/// Leaf payload order: within each complete fragment the original
+/// left-to-right order is preserved; fragments are arranged by the
+/// carry-propagation schedule, exactly as the paper's `ComputeHaft`
+/// (Algorithm A.9) arranges primary roots.
+///
+/// # Panics
+///
+/// Panics if `hafts` is empty.
+pub fn merge<L>(hafts: Vec<Haft<L>>) -> Haft<L> {
+    assert!(!hafts.is_empty(), "merge needs at least one haft");
+    // Step 1: strip everything to complete trees.
+    let mut arena = Arena::default();
+    let mut trees: Vec<(usize, NodeIdx)> = Vec::new();
+    for haft in hafts {
+        for part in strip(haft) {
+            let size = part.leaf_count();
+            let root = import(&mut arena, part);
+            trees.push((size, root));
+        }
+    }
+    let root = merge_complete_in(&mut arena, trees);
+    Haft::from_arena(arena.nodes, root)
+}
+
+/// Merges a forest of complete trees (given as `(size, root)` pairs inside
+/// `arena`) per Algorithm A.9 and returns the new root.
+pub(crate) fn merge_complete_in<L>(
+    arena: &mut Arena<L>,
+    mut trees: Vec<(usize, NodeIdx)>,
+) -> NodeIdx {
+    // Sort ascending by size; stable so equal sizes keep input order
+    // (A.9 additionally orders by node id — input order is our proxy).
+    trees.sort_by_key(|&(size, _)| size);
+
+    // Phase 1 (A.9 lines 5–19): walk the ascending list, joining the first
+    // two adjacent equal-sized trees, reinserting the doubled tree at its
+    // sorted position, and resuming from the merge position.
+    let mut i = 0;
+    while i + 1 < trees.len() {
+        if trees[i].0 == trees[i + 1].0 {
+            let (size, a) = trees[i];
+            let (_, b) = trees[i + 1];
+            let joined = arena.join(a, b);
+            trees.drain(i..=i + 1);
+            let doubled = size * 2;
+            let pos = trees.partition_point(|&(s, _)| s <= doubled);
+            trees.insert(pos, (doubled, joined));
+            // Resume one step back: the doubled tree may equal its new
+            // right neighbour (carry propagation).
+            i = i.saturating_sub(1);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Phase 2 (A.9 lines 20–28): all sizes distinct; chain ascending,
+    // each connector taking the larger tree as its left child.
+    let mut iter = trees.into_iter();
+    let (_, mut acc) = iter.next().expect("non-empty forest");
+    for (_, bigger) in iter {
+        acc = arena.join(bigger, acc);
+    }
+    acc
+}
+
+/// Convenience: merge exactly two hafts.
+pub fn merge_pair<L>(a: Haft<L>, b: Haft<L>) -> Haft<L> {
+    merge(vec![a, b])
+}
+
+/// Moves a haft's reachable nodes into `arena`, returning the new root.
+fn import<L>(arena: &mut Arena<L>, haft: Haft<L>) -> NodeIdx {
+    let root = haft.root();
+    let mut nodes: Vec<Option<HaftNode<L>>> = haft.into_nodes().into_iter().map(Some).collect();
+    import_rec(arena, &mut nodes, root)
+}
+
+fn import_rec<L>(
+    arena: &mut Arena<L>,
+    nodes: &mut [Option<HaftNode<L>>],
+    idx: NodeIdx,
+) -> NodeIdx {
+    match nodes[idx].take().expect("import visits nodes once") {
+        HaftNode::Leaf { payload } => arena.leaf(payload),
+        HaftNode::Internal { left, right, .. } => {
+            let l = import_rec(arena, nodes, left);
+            let r = import_rec(arena, nodes, right);
+            arena.join(l, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_complete_returns_self() {
+        let h = Haft::build_from(0..8);
+        let forest = strip(h);
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].leaf_count(), 8);
+        forest[0].check_invariants().unwrap();
+    }
+
+    #[test]
+    fn strip_matches_popcount() {
+        for l in 1..=64usize {
+            let forest = strip(Haft::build_from(0..l));
+            assert_eq!(forest.len(), l.count_ones() as usize, "l = {l}");
+            let mut total = 0;
+            for part in &forest {
+                assert!(part.is_complete());
+                part.check_invariants().unwrap();
+                total += part.leaf_count();
+            }
+            assert_eq!(total, l);
+        }
+    }
+
+    #[test]
+    fn strip_preserves_payloads() {
+        let forest = strip(Haft::build_from(0..11));
+        let mut all: Vec<i32> = forest
+            .iter()
+            .flat_map(|t| t.leaves().into_iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_is_binary_addition_figure_5() {
+        // Figure 5: 5 + 2 + 1 = 8 — three hafts merge into a complete tree.
+        let a = Haft::build_from(0..5);
+        let b = Haft::build_from(10..12);
+        let c = Haft::singleton(99);
+        let merged = merge(vec![a, b, c]);
+        assert_eq!(merged.leaf_count(), 8);
+        assert!(merged.is_complete());
+        merged.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn merge_always_yields_valid_haft() {
+        for (x, y, z) in [(1, 1, 1), (3, 5, 7), (4, 4, 4), (6, 1, 9), (16, 16, 1)] {
+            let merged = merge(vec![
+                Haft::build_from(0..x),
+                Haft::build_from(0..y),
+                Haft::build_from(0..z),
+            ]);
+            assert_eq!(merged.leaf_count(), x + y + z);
+            merged.check_invariants().unwrap();
+            let expect_depth = ((x + y + z) as f64).log2().ceil() as u32;
+            assert_eq!(merged.depth(), expect_depth);
+        }
+    }
+
+    #[test]
+    fn merge_keeps_every_payload_exactly_once() {
+        let merged = merge(vec![
+            Haft::build_from(0..6),
+            Haft::build_from(6..13),
+            Haft::build_from(13..20),
+        ]);
+        let mut all: Vec<i32> = merged.leaves().into_iter().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_pair_of_singletons() {
+        let merged = merge_pair(Haft::singleton('x'), Haft::singleton('y'));
+        assert_eq!(merged.leaf_count(), 2);
+        assert!(merged.is_complete());
+    }
+
+    #[test]
+    fn merge_of_singletons_equals_build_shape() {
+        for l in 1..=40usize {
+            let merged = merge((0..l).map(Haft::singleton).collect());
+            let built = Haft::build_from(0..l);
+            assert_eq!(merged.leaf_depths(), built.leaf_depths(), "l = {l}");
+            merged.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one haft")]
+    fn merge_empty_panics() {
+        let _: Haft<u8> = merge(vec![]);
+    }
+}

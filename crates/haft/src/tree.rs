@@ -1,0 +1,533 @@
+//! The half-full tree (haft) arena representation.
+//!
+//! A haft (paper §4) is a rooted binary tree in which every internal node
+//! has exactly two children and the left child roots a *complete* binary
+//! subtree containing at least half of the node's leaf descendants. For any
+//! leaf count `l` there is exactly one haft shape, `haft(l)` (Lemma 1.1),
+//! its depth is `⌈log₂ l⌉` (Lemma 1.3), and removing `popcount(l) − 1`
+//! spine nodes decomposes it into complete trees matching the binary
+//! representation of `l` (Lemma 1.2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node inside a [`Haft`] arena.
+pub type NodeIdx = usize;
+
+/// A node of a haft: either a leaf carrying a payload or an internal node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HaftNode<L> {
+    /// A leaf holding caller data (in the Forgiving Graph: a neighbour
+    /// endpoint of the deleted node).
+    Leaf {
+        /// The caller payload.
+        payload: L,
+    },
+    /// An internal ("helper") node with exactly two children.
+    Internal {
+        /// Left child — always roots a complete subtree.
+        left: NodeIdx,
+        /// Right child.
+        right: NodeIdx,
+        /// Number of leaf descendants.
+        leaves: usize,
+        /// Height of the subtree rooted here (leaf = 0).
+        height: u32,
+    },
+}
+
+impl<L> HaftNode<L> {
+    /// Leaf count of the subtree rooted at this node.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            HaftNode::Leaf { .. } => 1,
+            HaftNode::Internal { leaves, .. } => *leaves,
+        }
+    }
+
+    /// Height of the subtree rooted at this node (leaf = 0).
+    pub fn height(&self) -> u32 {
+        match self {
+            HaftNode::Leaf { .. } => 0,
+            HaftNode::Internal { height, .. } => *height,
+        }
+    }
+
+    /// Whether the subtree rooted here is a complete binary tree.
+    pub fn is_complete(&self) -> bool {
+        self.leaf_count() == 1usize << self.height()
+    }
+}
+
+/// An error describing a violated haft invariant, returned by
+/// [`Haft::check_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HaftViolation {
+    /// An internal node's cached leaf count or height disagrees with its
+    /// children.
+    BadCache(NodeIdx),
+    /// An internal node's left child is not a complete subtree.
+    LeftNotComplete(NodeIdx),
+    /// An internal node's left child holds fewer than half the leaves.
+    LeftTooSmall(NodeIdx),
+    /// The arena contains unreachable or doubly-referenced nodes.
+    BrokenArena,
+}
+
+impl fmt::Display for HaftViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaftViolation::BadCache(i) => write!(f, "node {i} has stale leaf/height cache"),
+            HaftViolation::LeftNotComplete(i) => {
+                write!(f, "left child of node {i} is not a complete subtree")
+            }
+            HaftViolation::LeftTooSmall(i) => {
+                write!(f, "left child of node {i} holds fewer than half the leaves")
+            }
+            HaftViolation::BrokenArena => write!(f, "arena has unreachable or shared nodes"),
+        }
+    }
+}
+
+impl std::error::Error for HaftViolation {}
+
+/// A half-full tree over leaf payloads of type `L`.
+///
+/// Construction always yields the unique `haft(l)` shape; the merge and
+/// strip operations of [`crate::ops`] preserve it.
+///
+/// # Examples
+///
+/// ```
+/// use fg_haft::Haft;
+///
+/// let h = Haft::build_from(0..7);
+/// assert_eq!(h.leaf_count(), 7);
+/// assert_eq!(h.depth(), 3); // ⌈log₂ 7⌉
+/// h.check_invariants()?;
+/// # Ok::<(), fg_haft::HaftViolation>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Haft<L> {
+    nodes: Vec<HaftNode<L>>,
+    root: NodeIdx,
+}
+
+impl<L> Haft<L> {
+    /// A haft with a single leaf.
+    pub fn singleton(payload: L) -> Self {
+        Haft {
+            nodes: vec![HaftNode::Leaf { payload }],
+            root: 0,
+        }
+    }
+
+    /// Builds `haft(l)` over the given leaves, preserving their order
+    /// left-to-right.
+    ///
+    /// Implements Lemma 1: write `l` in binary; build one complete tree per
+    /// set bit (largest first); join them along the right spine with
+    /// `popcount(l) − 1` connector nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty — a haft has at least one leaf.
+    pub fn build_from<I>(leaves: I) -> Self
+    where
+        I: IntoIterator<Item = L>,
+    {
+        let payloads: Vec<L> = leaves.into_iter().collect();
+        assert!(!payloads.is_empty(), "a haft needs at least one leaf");
+        let mut arena = Arena::default();
+        let total = payloads.len();
+        let mut iter = payloads.into_iter();
+        // Complete trees, largest bit first.
+        let mut parts: Vec<NodeIdx> = Vec::new();
+        let mut bit = usize::BITS - 1 - total.leading_zeros();
+        loop {
+            let size = 1usize << bit;
+            if total & size != 0 {
+                parts.push(arena.complete(&mut iter, bit));
+            }
+            if bit == 0 {
+                break;
+            }
+            bit -= 1;
+        }
+        // Join along the right spine, smallest pair first (right to left).
+        let mut acc = parts.pop().expect("at least one set bit");
+        while let Some(left) = parts.pop() {
+            acc = arena.join(left, acc);
+        }
+        Haft {
+            nodes: arena.nodes,
+            root: acc,
+        }
+    }
+
+    /// (Internal) assembles a haft from raw parts; used by `ops`.
+    pub(crate) fn from_arena(nodes: Vec<HaftNode<L>>, root: NodeIdx) -> Self {
+        Haft { nodes, root }
+    }
+
+    /// (Internal) consumes the haft, yielding its raw arena; used by `ops`.
+    pub(crate) fn into_nodes(self) -> Vec<HaftNode<L>> {
+        self.nodes
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes[self.root].leaf_count()
+    }
+
+    /// Depth (= height of the root; a single leaf has depth 0).
+    ///
+    /// Lemma 1.3 guarantees this equals `⌈log₂ leaf_count⌉`.
+    pub fn depth(&self) -> u32 {
+        self.nodes[self.root].height()
+    }
+
+    /// Whether the whole haft is a complete binary tree.
+    pub fn is_complete(&self) -> bool {
+        self.nodes[self.root].is_complete()
+    }
+
+    /// Root index into [`Haft::node`].
+    pub fn root(&self) -> NodeIdx {
+        self.root
+    }
+
+    /// Total number of arena nodes (leaves + internal).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrows a node by arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn node(&self, idx: NodeIdx) -> &HaftNode<L> {
+        &self.nodes[idx]
+    }
+
+    /// Leaf payloads in left-to-right order.
+    pub fn leaves(&self) -> Vec<&L> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        self.collect_leaves(self.root, &mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, idx: NodeIdx, out: &mut Vec<&'a L>) {
+        match &self.nodes[idx] {
+            HaftNode::Leaf { payload } => out.push(payload),
+            HaftNode::Internal { left, right, .. } => {
+                self.collect_leaves(*left, out);
+                self.collect_leaves(*right, out);
+            }
+        }
+    }
+
+    /// Depth of every leaf, left-to-right.
+    pub fn leaf_depths(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        self.collect_depths(self.root, 0, &mut out);
+        out
+    }
+
+    fn collect_depths(&self, idx: NodeIdx, depth: u32, out: &mut Vec<u32>) {
+        match &self.nodes[idx] {
+            HaftNode::Leaf { .. } => out.push(depth),
+            HaftNode::Internal { left, right, .. } => {
+                self.collect_depths(*left, depth + 1, out);
+                self.collect_depths(*right, depth + 1, out);
+            }
+        }
+    }
+
+    /// Tree distance (number of edges) between the `i`-th and `j`-th leaf
+    /// (left-to-right positions).
+    ///
+    /// This is the quantity behind the paper's stretch argument: two
+    /// neighbours of a deleted degree-`d` node sit at distance
+    /// ≤ `2·⌈log₂ d⌉` in its reconstruction tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn leaf_distance(&self, i: usize, j: usize) -> u32 {
+        assert!(i < self.leaf_count() && j < self.leaf_count());
+        if i == j {
+            return 0;
+        }
+        // Walk down from the root; the LCA is the first node where the two
+        // positions fall into different children.
+        let (mut lo, mut hi) = (i.min(j), i.max(j));
+        let mut idx = self.root;
+        let mut dist_lo = 0;
+        let mut dist_hi = 0;
+        loop {
+            match &self.nodes[idx] {
+                HaftNode::Leaf { .. } => unreachable!("positions diverge before leaves"),
+                HaftNode::Internal { left, right, .. } => {
+                    let nl = self.nodes[*left].leaf_count();
+                    if hi < nl {
+                        idx = *left;
+                    } else if lo >= nl {
+                        lo -= nl;
+                        hi -= nl;
+                        idx = *right;
+                    } else {
+                        // Diverged: lo in left subtree, hi in right subtree.
+                        dist_lo += 1 + self.leaf_depth_in(*left, lo);
+                        dist_hi += 1 + self.leaf_depth_in(*right, hi - nl);
+                        return dist_lo + dist_hi;
+                    }
+                }
+            }
+        }
+    }
+
+    fn leaf_depth_in(&self, mut idx: NodeIdx, mut pos: usize) -> u32 {
+        let mut depth = 0;
+        loop {
+            match &self.nodes[idx] {
+                HaftNode::Leaf { .. } => return depth,
+                HaftNode::Internal { left, right, .. } => {
+                    let nl = self.nodes[*left].leaf_count();
+                    if pos < nl {
+                        idx = *left;
+                    } else {
+                        pos -= nl;
+                        idx = *right;
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Sizes (leaf counts) of the maximal complete subtrees hanging off the
+    /// right spine — the forest [`crate::ops::strip`] would return —
+    /// in descending order. Equals the powers of two of `leaf_count()`'s
+    /// set bits (Lemma 1.2).
+    pub fn primary_root_sizes(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut idx = self.root;
+        loop {
+            if self.nodes[idx].is_complete() {
+                out.push(self.nodes[idx].leaf_count());
+                return out;
+            }
+            match &self.nodes[idx] {
+                HaftNode::Internal { left, right, .. } => {
+                    out.push(self.nodes[*left].leaf_count());
+                    idx = *right;
+                }
+                HaftNode::Leaf { .. } => unreachable!("leaves are complete"),
+            }
+        }
+    }
+
+    /// Verifies every haft invariant over the whole arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`HaftViolation`] found.
+    pub fn check_invariants(&self) -> Result<(), HaftViolation> {
+        // Reachability / single-ownership.
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        let mut reachable = 0usize;
+        while let Some(idx) = stack.pop() {
+            if seen[idx] {
+                return Err(HaftViolation::BrokenArena);
+            }
+            seen[idx] = true;
+            reachable += 1;
+            if let HaftNode::Internal { left, right, .. } = &self.nodes[idx] {
+                stack.push(*left);
+                stack.push(*right);
+            }
+        }
+        // Unreachable garbage is allowed (ops may leave stripped connectors
+        // behind) as long as the reachable part is a tree.
+        let _ = reachable;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !seen[idx] {
+                continue;
+            }
+            if let HaftNode::Internal {
+                left,
+                right,
+                leaves,
+                height,
+            } = node
+            {
+                let (ln, rn) = (&self.nodes[*left], &self.nodes[*right]);
+                if *leaves != ln.leaf_count() + rn.leaf_count()
+                    || *height != 1 + ln.height().max(rn.height())
+                {
+                    return Err(HaftViolation::BadCache(idx));
+                }
+                if !ln.is_complete() {
+                    return Err(HaftViolation::LeftNotComplete(idx));
+                }
+                if 2 * ln.leaf_count() < *leaves {
+                    return Err(HaftViolation::LeftTooSmall(idx));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Arena builder shared by construction and ops.
+#[derive(Debug)]
+pub(crate) struct Arena<L> {
+    pub(crate) nodes: Vec<HaftNode<L>>,
+}
+
+impl<L> Default for Arena<L> {
+    fn default() -> Self {
+        Arena { nodes: Vec::new() }
+    }
+}
+
+impl<L> Arena<L> {
+    pub(crate) fn leaf(&mut self, payload: L) -> NodeIdx {
+        self.nodes.push(HaftNode::Leaf { payload });
+        self.nodes.len() - 1
+    }
+
+    /// Builds a complete tree of `2^bit` leaves pulled from `iter`.
+    pub(crate) fn complete<I: Iterator<Item = L>>(&mut self, iter: &mut I, bit: u32) -> NodeIdx {
+        if bit == 0 {
+            let payload = iter.next().expect("leaf supply exhausted");
+            return self.leaf(payload);
+        }
+        let left = self.complete(iter, bit - 1);
+        let right = self.complete(iter, bit - 1);
+        self.join(left, right)
+    }
+
+    /// Joins two subtrees under a fresh internal node (caller is
+    /// responsible for putting the complete/larger tree on the left).
+    pub(crate) fn join(&mut self, left: NodeIdx, right: NodeIdx) -> NodeIdx {
+        let leaves = self.nodes[left].leaf_count() + self.nodes[right].leaf_count();
+        let height = 1 + self.nodes[left].height().max(self.nodes[right].height());
+        self.nodes.push(HaftNode::Internal {
+            left,
+            right,
+            leaves,
+            height,
+        });
+        self.nodes.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_is_complete() {
+        let h = Haft::singleton('a');
+        assert_eq!(h.leaf_count(), 1);
+        assert_eq!(h.depth(), 0);
+        assert!(h.is_complete());
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn build_preserves_leaf_order() {
+        let h = Haft::build_from(0..11);
+        let leaves: Vec<i32> = h.leaves().into_iter().copied().collect();
+        assert_eq!(leaves, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_is_ceil_log2() {
+        for l in 1..=300usize {
+            let h = Haft::build_from(0..l);
+            let expect = (l as f64).log2().ceil() as u32;
+            assert_eq!(h.depth(), expect, "l = {l}");
+            h.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn primary_root_sizes_match_binary_representation() {
+        for l in 1..=128usize {
+            let h = Haft::build_from(0..l);
+            let sizes = h.primary_root_sizes();
+            assert_eq!(sizes.len(), l.count_ones() as usize, "l = {l}");
+            assert_eq!(sizes.iter().sum::<usize>(), l);
+            // Descending powers of two.
+            for w in sizes.windows(2) {
+                assert!(w[0] > w[1]);
+            }
+            assert!(sizes.iter().all(|s| s.is_power_of_two()));
+        }
+    }
+
+    #[test]
+    fn seven_leaf_example_matches_figure_3a() {
+        // Figure 3(a): haft(7) = complete-4 ⌢ (complete-2 ⌢ leaf).
+        let h = Haft::build_from(0..7);
+        assert_eq!(h.primary_root_sizes(), vec![4, 2, 1]);
+        assert_eq!(h.leaf_depths(), vec![3, 3, 3, 3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn complete_sizes_have_no_spine() {
+        for bit in 0..8u32 {
+            let l = 1usize << bit;
+            let h = Haft::build_from(0..l);
+            assert!(h.is_complete());
+            assert_eq!(h.primary_root_sizes(), vec![l]);
+        }
+    }
+
+    #[test]
+    fn leaf_distance_symmetric_and_bounded() {
+        let h = Haft::build_from(0..13);
+        let n = h.leaf_count();
+        for i in 0..n {
+            assert_eq!(h.leaf_distance(i, i), 0);
+            for j in 0..n {
+                let d = h.leaf_distance(i, j);
+                assert_eq!(d, h.leaf_distance(j, i));
+                assert!(d <= 2 * h.depth(), "distance exceeds 2·depth");
+                if i != j {
+                    assert!(d >= 2, "two distinct leaves share no edge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_distance_on_complete_four() {
+        let h = Haft::build_from(0..4);
+        assert_eq!(h.leaf_distance(0, 1), 2);
+        assert_eq!(h.leaf_distance(0, 3), 4);
+        assert_eq!(h.leaf_distance(1, 2), 4);
+    }
+
+    #[test]
+    fn violation_display_messages() {
+        assert!(HaftViolation::BadCache(3).to_string().contains("stale"));
+        assert!(HaftViolation::LeftNotComplete(1)
+            .to_string()
+            .contains("complete"));
+        assert!(HaftViolation::LeftTooSmall(0).to_string().contains("half"));
+        assert!(HaftViolation::BrokenArena.to_string().contains("arena"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_build_panics() {
+        let _ = Haft::build_from(std::iter::empty::<u8>());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the haft algebra (paper §4, Lemmas 1–2).
+
+use fg_haft::{binary, ops, Haft};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lemma 1.3: depth of haft(l) is exactly ⌈log₂ l⌉.
+    #[test]
+    fn depth_is_ceil_log2(l in 1usize..5000) {
+        let h = Haft::build_from(0..l);
+        prop_assert_eq!(h.depth(), binary::expected_depth(l));
+    }
+
+    /// Lemma 1.2: strip yields exactly the set-bit complete trees.
+    #[test]
+    fn strip_matches_binary_representation(l in 1usize..2000) {
+        let forest = ops::strip(Haft::build_from(0..l));
+        let sizes: Vec<usize> = forest.iter().map(Haft::leaf_count).collect();
+        prop_assert_eq!(sizes, binary::set_bit_sizes(l));
+        for part in &forest {
+            prop_assert!(part.is_complete());
+            prop_assert!(part.check_invariants().is_ok());
+        }
+    }
+
+    /// Figure 5: merging hafts is binary addition of their leaf counts, and
+    /// the result is again a valid haft of the expected depth.
+    #[test]
+    fn merge_is_binary_addition(sizes in prop::collection::vec(1usize..200, 1..8)) {
+        let total: usize = sizes.iter().sum();
+        let merged = ops::merge(sizes.iter().map(|&s| Haft::build_from(0..s)).collect());
+        prop_assert_eq!(merged.leaf_count(), total);
+        prop_assert!(merged.check_invariants().is_ok());
+        prop_assert_eq!(merged.depth(), binary::expected_depth(total));
+        prop_assert_eq!(merged.primary_root_sizes(), binary::set_bit_sizes(total));
+    }
+
+    /// Merge must preserve the leaf payload multiset exactly.
+    #[test]
+    fn merge_preserves_payloads(sizes in prop::collection::vec(1usize..60, 1..6)) {
+        let mut offset = 0usize;
+        let mut inputs = Vec::new();
+        for &s in &sizes {
+            inputs.push(Haft::build_from(offset..offset + s));
+            offset += s;
+        }
+        let merged = ops::merge(inputs);
+        let mut all: Vec<usize> = merged.leaves().into_iter().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..offset).collect::<Vec<_>>());
+    }
+
+    /// Uniqueness (Lemma 1.1): any way of merging singletons produces the
+    /// same shape as direct construction.
+    #[test]
+    fn merge_of_singleton_batches_matches_build(split in 1usize..80, rest in 0usize..80) {
+        let total = split + rest;
+        let merged = if rest == 0 {
+            ops::merge((0..split).map(Haft::singleton).collect())
+        } else {
+            ops::merge_pair(
+                ops::merge((0..split).map(Haft::singleton).collect()),
+                ops::merge((split..total).map(Haft::singleton).collect()),
+            )
+        };
+        let built = Haft::build_from(0..total);
+        prop_assert_eq!(merged.leaf_depths(), built.leaf_depths());
+    }
+
+    /// §3 stretch ingredient: any two leaves of haft(l) are within
+    /// 2·⌈log₂ l⌉ edges of each other.
+    #[test]
+    fn leaf_distance_bounded_by_twice_depth(
+        l in 2usize..400,
+        i_seed in any::<u64>(),
+        j_seed in any::<u64>(),
+    ) {
+        let h = Haft::build_from(0..l);
+        let i = (i_seed % l as u64) as usize;
+        let j = (j_seed % l as u64) as usize;
+        let d = h.leaf_distance(i, j);
+        prop_assert!(d <= 2 * binary::expected_depth(l));
+        if i != j {
+            prop_assert!(d >= 2);
+        }
+    }
+
+    /// Strip is idempotent on complete trees and total on hafts: stripping
+    /// the merge of a stripped forest reproduces the same sizes.
+    #[test]
+    fn strip_merge_strip_roundtrip(l in 1usize..1000) {
+        let forest = ops::strip(Haft::build_from(0..l));
+        let merged = ops::merge(forest);
+        let again = ops::strip(merged);
+        let sizes: Vec<usize> = again.iter().map(Haft::leaf_count).collect();
+        prop_assert_eq!(sizes, binary::set_bit_sizes(l));
+    }
+}

@@ -1,0 +1,141 @@
+//! Degree-increase measurement (the paper's success metric 1).
+//!
+//! For every live node, compare its healed-network degree against its
+//! `G'` degree. Theorem 1.1 bounds the ratio by 3 (this implementation's
+//! provable envelope is 4 — see DESIGN.md §2 and experiment E1).
+
+use fg_graph::{Graph, NodeId};
+
+/// Aggregated degree-increase statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Largest `deg_G / deg_G'` ratio over live nodes.
+    pub max_ratio: f64,
+    /// Mean ratio.
+    pub mean_ratio: f64,
+    /// A node achieving `max_ratio`.
+    pub worst_node: Option<NodeId>,
+    /// How many live nodes exceed ratio 3 (the paper's claimed constant).
+    pub above_three: usize,
+    /// Number of live nodes measured.
+    pub nodes: usize,
+    /// Maximum absolute healed degree.
+    pub max_degree: usize,
+}
+
+/// Measures degree ratios of `image` against `ghost` over live nodes.
+/// Nodes with ghost degree 0 are skipped (nothing to compare).
+pub fn degree_stats(image: &Graph, ghost: &Graph) -> DegreeStats {
+    let mut stats = DegreeStats {
+        max_ratio: 0.0,
+        mean_ratio: 0.0,
+        worst_node: None,
+        above_three: 0,
+        nodes: 0,
+        max_degree: 0,
+    };
+    let mut total = 0.0;
+    for v in image.iter() {
+        let dg = ghost.degree(v);
+        if dg == 0 {
+            continue;
+        }
+        let di = image.degree(v);
+        let ratio = di as f64 / dg as f64;
+        stats.nodes += 1;
+        total += ratio;
+        stats.max_degree = stats.max_degree.max(di);
+        if ratio > stats.max_ratio {
+            stats.max_ratio = ratio;
+            stats.worst_node = Some(v);
+        }
+        if ratio > 3.0 + 1e-9 {
+            stats.above_three += 1;
+        }
+    }
+    if stats.nodes > 0 {
+        stats.mean_ratio = total / stats.nodes as f64;
+    }
+    stats
+}
+
+/// Histogram of degree ratios in fixed buckets `[0,1], (1,2], (2,3],
+/// (3,4], >4` — the shape E1 reports.
+pub fn ratio_histogram(image: &Graph, ghost: &Graph) -> [usize; 5] {
+    let mut hist = [0usize; 5];
+    for v in image.iter() {
+        let dg = ghost.degree(v);
+        if dg == 0 {
+            continue;
+        }
+        let ratio = image.degree(v) as f64 / dg as f64;
+        let bucket = if ratio <= 1.0 {
+            0
+        } else if ratio <= 2.0 {
+            1
+        } else if ratio <= 3.0 {
+            2
+        } else if ratio <= 4.0 {
+            3
+        } else {
+            4
+        };
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::generators;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn identical_graphs_have_ratio_one() {
+        let g = generators::cycle(6);
+        let s = degree_stats(&g, &g);
+        assert_eq!(s.max_ratio, 1.0);
+        assert_eq!(s.mean_ratio, 1.0);
+        assert_eq!(s.above_three, 0);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn detects_inflated_node() {
+        let ghost = generators::path(4); // degrees 1,2,2,1
+        let mut image = generators::path(4);
+        image.add_edge(n(0), n(2)).unwrap();
+        image.add_edge(n(0), n(3)).unwrap(); // node 0: degree 3 vs 1
+        let s = degree_stats(&image, &ghost);
+        assert_eq!(s.max_ratio, 3.0);
+        assert_eq!(s.worst_node, Some(n(0)));
+        assert_eq!(s.above_three, 0, "exactly 3 is within the paper bound");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let ghost = generators::star(5); // hub degree 4, leaves 1
+        let mut image = generators::star(5);
+        image.add_edge(n(1), n(2)).unwrap(); // leaves 1,2 → ratio 2
+        let h = ratio_histogram(&image, &ghost);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[0], 3, "hub + two untouched leaves stay at ratio ≤ 1");
+        assert_eq!(h[1], 2, "two leaves at ratio 2");
+    }
+
+    #[test]
+    fn zero_ghost_degree_nodes_are_skipped() {
+        let mut ghost = generators::path(2);
+        let iso = ghost.add_node();
+        let mut image = generators::path(2);
+        let _ = image.add_node();
+        let s = degree_stats(&image, &ghost);
+        assert_eq!(s.nodes, 2);
+        assert!(!image.neighbors(iso).any(|_| true));
+    }
+}

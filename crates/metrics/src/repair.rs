@@ -1,0 +1,94 @@
+//! Repair-cost aggregation over [`RepairReport`]s — the sequential
+//! engine's view of Theorem 1.3's `O(d log n)` work bound.
+//!
+//! (Message-level counts, the literal subject of Lemma 4, come from the
+//! `fg-dist` crate's instrumented protocol runs; E3 uses both.)
+
+use fg_core::RepairReport;
+
+/// Aggregate statistics over a sequence of repairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostStats {
+    /// Number of repairs aggregated.
+    pub repairs: usize,
+    /// Maximum virtual-node churn in one repair.
+    pub max_churn: u64,
+    /// Mean churn.
+    pub mean_churn: f64,
+    /// Max of `churn / (d·⌈log₂ n⌉)` — the normalized Theorem 1.3
+    /// envelope; bounded by a constant if the theorem's shape holds.
+    pub max_normalized_churn: f64,
+    /// Maximum bottom-up merge rounds in one repair.
+    pub max_rounds: u32,
+    /// Mean rounds.
+    pub mean_rounds: f64,
+    /// Largest reconstruction tree built.
+    pub max_rt_leaves: u32,
+}
+
+/// Aggregates `reports`, normalizing against `nodes_ever` (the paper's
+/// `n`) for the `d log n` envelope.
+pub fn cost_stats(reports: &[RepairReport], nodes_ever: usize) -> CostStats {
+    let log_n = (nodes_ever.max(2) as f64).log2().ceil().max(1.0);
+    let mut stats = CostStats {
+        repairs: reports.len(),
+        max_churn: 0,
+        mean_churn: 0.0,
+        max_normalized_churn: 0.0,
+        max_rounds: 0,
+        mean_rounds: 0.0,
+        max_rt_leaves: 0,
+    };
+    if reports.is_empty() {
+        return stats;
+    }
+    let mut churn_total = 0u64;
+    let mut rounds_total = 0u64;
+    for r in reports {
+        let churn = r.churn();
+        churn_total += churn;
+        rounds_total += u64::from(r.btv_rounds);
+        stats.max_churn = stats.max_churn.max(churn);
+        stats.max_rounds = stats.max_rounds.max(r.btv_rounds);
+        stats.max_rt_leaves = stats.max_rt_leaves.max(r.rt_leaves);
+        let d = r.ghost_degree.max(1) as f64;
+        stats.max_normalized_churn = stats.max_normalized_churn.max(churn as f64 / (d * log_n));
+    }
+    stats.mean_churn = churn_total as f64 / reports.len() as f64;
+    stats.mean_rounds = rounds_total as f64 / reports.len() as f64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::ForgivingGraph;
+    use fg_graph::{generators, NodeId};
+
+    #[test]
+    fn empty_reports() {
+        let s = cost_stats(&[], 100);
+        assert_eq!(s.repairs, 0);
+        assert_eq!(s.max_churn, 0);
+    }
+
+    #[test]
+    fn aggregates_real_repairs() {
+        let mut fg = ForgivingGraph::from_graph(&generators::star(20)).unwrap();
+        let mut reports = Vec::new();
+        for v in 0..10u32 {
+            reports.push(fg.delete(NodeId::new(v)).unwrap());
+        }
+        let s = cost_stats(&reports, fg.nodes_ever());
+        assert_eq!(s.repairs, 10);
+        assert!(s.max_churn >= s.mean_churn as u64);
+        assert!(s.max_rt_leaves >= 10, "hub deletion builds a large RT");
+        // The O(d log n) shape: normalized churn stays below a small
+        // constant.
+        assert!(
+            s.max_normalized_churn < 8.0,
+            "normalized churn {}",
+            s.max_normalized_churn
+        );
+    }
+}

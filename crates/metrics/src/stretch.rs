@@ -1,0 +1,158 @@
+//! Network stretch measurement (the paper's success metric 2).
+//!
+//! Stretch compares distances in the healed network `G` against the
+//! insert-only graph `G'`:
+//! `max_{x,y} dist(x, y, G) / dist(x, y, G')` over live pairs, where `G'`
+//! paths may pass through deleted nodes. Theorem 1.2 bounds this by
+//! `⌈log₂ n⌉`.
+
+use fg_graph::{traversal, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Aggregated stretch over a set of measured pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchStats {
+    /// Largest observed stretch.
+    pub max: f64,
+    /// Mean over measured pairs.
+    pub mean: f64,
+    /// Number of (ordered-once) pairs measured.
+    pub pairs: usize,
+    /// A witness pair achieving `max`.
+    pub worst_pair: Option<(NodeId, NodeId)>,
+}
+
+impl StretchStats {
+    fn empty() -> Self {
+        StretchStats {
+            max: 1.0,
+            mean: 1.0,
+            pairs: 0,
+            worst_pair: None,
+        }
+    }
+}
+
+/// Measures stretch from every node in `sources` to all reachable live
+/// nodes. Pairs disconnected in `G'` are skipped (they are legitimately
+/// disconnected); a pair connected in `G'` but not in the image is a
+/// healing failure and is reported as `f64::INFINITY`.
+pub fn stretch_from_sources(image: &Graph, ghost: &Graph, sources: &[NodeId]) -> StretchStats {
+    let mut stats = StretchStats::empty();
+    let mut total = 0.0f64;
+    for &x in sources {
+        if !image.contains(x) {
+            continue;
+        }
+        let dg = traversal::bfs_distances(ghost, x);
+        let di = traversal::bfs_distances(image, x);
+        for y in image.iter() {
+            if y <= x {
+                continue;
+            }
+            // The ghost and image may disagree on the node universe (e.g.
+            // baselines that track G' lazily); missing entries mean
+            // unreachable.
+            let g = dg.get(y.index()).copied().flatten();
+            let i = di.get(y.index()).copied().flatten();
+            let ratio = match (g, i) {
+                (Some(g), Some(i)) => i as f64 / (g.max(1) as f64),
+                (Some(_), None) => f64::INFINITY,
+                _ => continue,
+            };
+            stats.pairs += 1;
+            total += ratio;
+            if ratio > stats.max {
+                stats.max = ratio;
+                stats.worst_pair = Some((x, y));
+            }
+        }
+    }
+    if stats.pairs > 0 {
+        stats.mean = total / stats.pairs as f64;
+    }
+    stats
+}
+
+/// Exact stretch over all live pairs — `O(n·m)`; for experiment-scale
+/// graphs (n ≤ a few thousand).
+pub fn stretch_exact(image: &Graph, ghost: &Graph) -> StretchStats {
+    let sources: Vec<NodeId> = image.iter().collect();
+    stretch_from_sources(image, ghost, &sources)
+}
+
+/// Sampled stretch: BFS from `samples` random live sources (seeded), which
+/// measures `samples · n` pairs.
+pub fn stretch_sampled(image: &Graph, ghost: &Graph, samples: usize, seed: u64) -> StretchStats {
+    let mut sources: Vec<NodeId> = image.iter().collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    sources.shuffle(&mut rng);
+    sources.truncate(samples);
+    sources.sort_unstable();
+    stretch_from_sources(image, ghost, &sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::generators;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn identical_graphs_have_stretch_one() {
+        let g = generators::grid(3, 3);
+        let s = stretch_exact(&g, &g);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.mean, 1.0);
+        assert!(s.pairs > 0);
+    }
+
+    #[test]
+    fn detour_shows_up_as_stretch() {
+        // Ghost: path 0-1-2. Image: 1 deleted, 0-2 connected via 3-4.
+        let ghost = generators::path(3);
+        let mut image = fg_graph::Graph::with_nodes(5);
+        image.remove_node(n(1)).unwrap();
+        image.add_edge(n(0), n(3)).unwrap();
+        image.add_edge(n(3), n(4)).unwrap();
+        image.add_edge(n(4), n(2)).unwrap();
+        // Only measure the pair (0, 2): both live in both graphs.
+        let s = stretch_from_sources(&image, &ghost, &[n(0)]);
+        // dist_G'(0,2) = 2 (through the dead node), dist_G = 3.
+        let ratio_02 = 3.0 / 2.0;
+        assert!((s.max - ratio_02).abs() < 1e-9, "max = {}", s.max);
+        assert_eq!(s.worst_pair, Some((n(0), n(2))));
+    }
+
+    #[test]
+    fn disconnection_is_infinite_stretch() {
+        let ghost = generators::path(3);
+        let mut image = generators::path(3);
+        image.remove_edge(n(1), n(2)).unwrap();
+        let s = stretch_exact(&image, &ghost);
+        assert!(s.max.is_infinite());
+    }
+
+    #[test]
+    fn ghost_only_pairs_are_skipped() {
+        // Two components in both graphs: cross-pairs don't count.
+        let mut g = fg_graph::Graph::with_nodes(4);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        let s = stretch_exact(&g, &g);
+        assert_eq!(s.pairs, 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = generators::connected_erdos_renyi(30, 0.1, 5);
+        let a = stretch_sampled(&g, &g, 5, 11);
+        let b = stretch_sampled(&g, &g, 5, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! One-call health summary of a self-healing network — the row format of
+//! the E5 baseline-comparison table.
+
+use crate::degree::{degree_stats, DegreeStats};
+use crate::stretch::{stretch_exact, stretch_sampled, StretchStats};
+use fg_core::SelfHealer;
+use fg_graph::traversal;
+
+/// A full health snapshot of a healer's network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSummary {
+    /// The healer's strategy name.
+    pub healer: &'static str,
+    /// Live node count.
+    pub alive: usize,
+    /// Nodes ever seen (`n`).
+    pub nodes_ever: usize,
+    /// Whether the healed network is connected.
+    pub connected: bool,
+    /// Stretch statistics against `G'`.
+    pub stretch: StretchStats,
+    /// Degree-increase statistics against `G'`.
+    pub degree: DegreeStats,
+    /// Healed-network diameter (largest component), if nonempty.
+    pub diameter: Option<u32>,
+}
+
+/// Measures `healer` exhaustively (all-pairs stretch) — for experiment
+/// sizes up to a few thousand nodes.
+pub fn measure(healer: &dyn SelfHealer) -> HealthSummary {
+    measure_inner(healer, None, 0)
+}
+
+/// Measures `healer` with sampled stretch (`samples` BFS sources).
+pub fn measure_sampled(healer: &dyn SelfHealer, samples: usize, seed: u64) -> HealthSummary {
+    measure_inner(healer, Some(samples), seed)
+}
+
+fn measure_inner(healer: &dyn SelfHealer, samples: Option<usize>, seed: u64) -> HealthSummary {
+    let image = healer.image();
+    let ghost = healer.ghost();
+    let stretch = match samples {
+        Some(k) => stretch_sampled(image, ghost, k, seed),
+        None => stretch_exact(image, ghost),
+    };
+    HealthSummary {
+        healer: healer.name(),
+        alive: image.node_count(),
+        nodes_ever: ghost.nodes_ever(),
+        connected: traversal::is_connected(image),
+        stretch,
+        degree: degree_stats(image, ghost),
+        diameter: traversal::diameter_exact(image),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::ForgivingGraph;
+    use fg_graph::{generators, NodeId};
+
+    #[test]
+    fn summary_of_attacked_star() {
+        let mut fg = ForgivingGraph::from_graph(&generators::star(9)).unwrap();
+        fg.delete(NodeId::new(0)).unwrap();
+        let s = measure(&fg);
+        assert_eq!(s.healer, "forgiving-graph");
+        assert_eq!(s.alive, 8);
+        assert_eq!(s.nodes_ever, 9);
+        assert!(s.connected);
+        // Star neighbours sat at ghost distance 2; the haft(8) RT puts
+        // them within 2·3 hops, so stretch ≤ 3 and diameter ≤ 6.
+        assert!(s.stretch.max <= 3.0);
+        assert!(s.diameter.unwrap() <= 6);
+        assert!(s.degree.max_ratio <= 3.0);
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_small_graph() {
+        let mut fg = ForgivingGraph::from_graph(&generators::cycle(10)).unwrap();
+        fg.delete(NodeId::new(3)).unwrap();
+        let exact = measure(&fg);
+        let sampled = measure_sampled(&fg, 9, 1); // all 9 live sources
+        assert_eq!(exact.stretch.max, sampled.stretch.max);
+    }
+}

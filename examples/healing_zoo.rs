@@ -1,0 +1,59 @@
+//! The healing zoo: every strategy in the workspace facing the same
+//! attack, so the design space of the paper's §1 is visible in one table.
+//!
+//! ```bash
+//! cargo run --release --example healing_zoo
+//! ```
+
+use fg_adversary::{replay, run_attack, MaxDegreeDeleter};
+use fg_baselines::{
+    BinaryTreeHealer, CliqueHealer, CycleHealer, ForgivingTree, NoHealer, StarHealer,
+};
+use fg_core::{ForgivingGraph, SelfHealer};
+use fg_graph::generators;
+use fg_metrics::{f2, measure, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = generators::barabasi_albert(96, 2, 9);
+    let mut fg = ForgivingGraph::from_graph(&g)?;
+    let mut adversary = MaxDegreeDeleter::new(48);
+    let log = run_attack(&mut fg, &mut adversary, 96)?;
+
+    let mut zoo: Vec<Box<dyn SelfHealer>> = vec![
+        Box::new(ForgivingTree::from_graph(&g)),
+        Box::new(CycleHealer::from_graph(&g)),
+        Box::new(StarHealer::from_graph(&g)),
+        Box::new(CliqueHealer::from_graph(&g)),
+        Box::new(BinaryTreeHealer::from_graph(&g)),
+        Box::new(NoHealer::from_graph(&g)),
+    ];
+
+    let mut table = Table::new(
+        &format!(
+            "healing zoo — BA(96,2), {} hub deletions (same trace for everyone)",
+            log.deletions
+        ),
+        ["healer", "connected", "max stretch", "max deg ratio", "edges"],
+    );
+    let h = measure(&fg);
+    table.push_row([
+        h.healer.to_string(),
+        h.connected.to_string(),
+        f2(h.stretch.max),
+        f2(h.degree.max_ratio),
+        fg.image().edge_count().to_string(),
+    ]);
+    for healer in &mut zoo {
+        replay(healer.as_mut(), &log.events)?;
+        let h = measure(healer.as_ref());
+        table.push_row([
+            h.healer.to_string(),
+            h.connected.to_string(),
+            f2(h.stretch.max),
+            f2(h.degree.max_ratio),
+            healer.image().edge_count().to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! A peer-to-peer overlay under sustained membership churn: nodes join
+//! and crash for a thousand steps while the Forgiving Graph keeps the
+//! overlay connected with bounded stretch.
+//!
+//! ```bash
+//! cargo run --release --example p2p_churn
+//! ```
+
+use fg_adversary::{run_attack, ChurnAdversary};
+use fg_core::ForgivingGraph;
+use fg_graph::generators;
+use fg_metrics::{measure_sampled, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut network = ForgivingGraph::from_graph(&generators::connected_erdos_renyi(
+        128, 0.06, 1,
+    ))?;
+    let mut table = Table::new(
+        "overlay health under churn (55% crashes / 45% joins)",
+        ["step", "alive", "ever", "connected", "max stretch", "max deg ratio"],
+    );
+    let mut adv = ChurnAdversary::new(77, 0.55, 3, 16, 1000);
+    for checkpoint in 0..10 {
+        run_attack(&mut network, &mut adv, 100)?;
+        let h = measure_sampled(&network, 32, checkpoint as u64);
+        table.push_row([
+            format!("{}", (checkpoint + 1) * 100),
+            h.alive.to_string(),
+            h.nodes_ever.to_string(),
+            h.connected.to_string(),
+            format!("{:.2}", h.stretch.max),
+            format!("{:.2}", h.degree.max_ratio),
+        ]);
+    }
+    network.check_invariants()?;
+    println!("{}", table.to_markdown());
+    println!(
+        "lifetime: {} repairs, {} helpers created, {} freed, {} rep fallbacks",
+        network.stats().deletes,
+        network.stats().helpers_created,
+        network.stats().helpers_freed,
+        network.stats().rep_fallbacks
+    );
+    Ok(())
+}

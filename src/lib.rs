@@ -1,0 +1,27 @@
+//! # forgiving-graph — umbrella crate
+//!
+//! A full reproduction of *The Forgiving Graph: a distributed data
+//! structure for low stretch under adversarial attack* (Hayes, Saia,
+//! Trehan; PODC 2009). Re-exports every layer of the workspace; see the
+//! README for the guided tour and EXPERIMENTS.md for the reproduced
+//! results.
+//!
+//! ```
+//! use forgiving_graph::core::ForgivingGraph;
+//! use forgiving_graph::graph::generators;
+//!
+//! let mut fg = ForgivingGraph::from_graph(&generators::star(9))?;
+//! fg.delete(forgiving_graph::graph::NodeId::new(0))?;
+//! assert!(forgiving_graph::graph::traversal::is_connected(fg.image()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fg_adversary as adversary;
+pub use fg_baselines as baselines;
+pub use fg_core as core;
+pub use fg_dist as dist;
+pub use fg_graph as graph;
+pub use fg_metrics as metrics;

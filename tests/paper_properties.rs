@@ -1,0 +1,80 @@
+//! Randomized full-stack properties: the paper's contract must hold for
+//! arbitrary adversarial schedules across every layer at once.
+
+use forgiving_graph::core::{ForgivingGraph, PlacementPolicy, SelfHealer};
+use forgiving_graph::dist::Network;
+use forgiving_graph::graph::{generators, NodeId};
+use forgiving_graph::metrics::measure_sampled;
+use proptest::prelude::*;
+
+/// Decode a byte schedule into events applied to both engines in
+/// lockstep, returning false if they ever diverge.
+fn lockstep(seed: u64, bytes: &[u8]) -> Result<(), TestCaseError> {
+    let g = generators::connected_erdos_renyi(14, 0.16, seed);
+    let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+    let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+    for &b in bytes {
+        let alive: Vec<NodeId> = fg.image().iter().collect();
+        if alive.len() <= 3 {
+            break;
+        }
+        if b & 1 == 0 {
+            let v = alive[(b as usize / 2) % alive.len()];
+            net.delete(v).unwrap();
+            fg.delete(v).unwrap();
+            prop_assert_eq!(net.image(), fg.image(), "image diverged");
+        } else {
+            let k = 1 + (b as usize / 2) % 2.min(alive.len());
+            let nbrs: Vec<NodeId> = alive.into_iter().take(k).collect();
+            let a = net.insert(&nbrs).unwrap();
+            let c = SelfHealer::insert(&mut fg, &nbrs).unwrap();
+            prop_assert_eq!(a, c);
+        }
+    }
+    fg.check_invariants().unwrap();
+    let health = measure_sampled(&fg, 10, 3);
+    prop_assert!(health.connected);
+    prop_assert!(health.stretch.max <= fg.stretch_bound() as f64);
+    prop_assert!(health.degree.max_ratio <= 4.0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed protocol and the reference engine never diverge,
+    /// and the healed network always satisfies Theorem 1.
+    #[test]
+    fn protocol_and_engine_in_lockstep(
+        seed in 0u64..100,
+        bytes in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        lockstep(seed, &bytes)?;
+    }
+
+    /// Repair work (virtual node churn) respects the Theorem 1.3 shape on
+    /// arbitrary delete schedules.
+    #[test]
+    fn churn_stays_in_envelope(
+        seed in 0u64..100,
+        picks in prop::collection::vec(any::<u16>(), 1..20),
+    ) {
+        let g = generators::barabasi_albert(24, 2, seed);
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        let log_n = (fg.nodes_ever() as f64).log2().ceil();
+        for p in picks {
+            let alive: Vec<NodeId> = fg.image().iter().collect();
+            if alive.len() <= 3 {
+                break;
+            }
+            let v = alive[p as usize % alive.len()];
+            let d = fg.ghost().degree(v).max(2) as f64;
+            let report = fg.delete(v).unwrap();
+            prop_assert!(
+                (report.churn() as f64) <= 10.0 * d * log_n,
+                "churn {} for degree {d}",
+                report.churn()
+            );
+        }
+    }
+}
