@@ -73,10 +73,7 @@ pub fn run_attack(
 /// # Errors
 ///
 /// Propagates the first engine error.
-pub fn replay(
-    healer: &mut dyn SelfHealer,
-    events: &[NetworkEvent],
-) -> Result<(), EngineError> {
+pub fn replay(healer: &mut dyn SelfHealer, events: &[NetworkEvent]) -> Result<(), EngineError> {
     for e in events {
         healer.apply_event(e)?;
     }

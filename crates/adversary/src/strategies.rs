@@ -85,7 +85,9 @@ pub struct MaxDegreeDeleter {
 impl MaxDegreeDeleter {
     /// Attacks hubs until only `floor` nodes remain.
     pub fn new(floor: usize) -> Self {
-        MaxDegreeDeleter { floor: floor.max(1) }
+        MaxDegreeDeleter {
+            floor: floor.max(1),
+        }
     }
 }
 
@@ -119,7 +121,9 @@ pub struct CutPointDeleter {
 impl CutPointDeleter {
     /// Attacks articulation points until only `floor` nodes remain.
     pub fn new(floor: usize) -> Self {
-        CutPointDeleter { floor: floor.max(1) }
+        CutPointDeleter {
+            floor: floor.max(1),
+        }
     }
 }
 
@@ -364,6 +368,9 @@ impl Adversary for Composite {
     }
 }
 
+/// A DFS frame: (node, parent, neighbour list, next index, child count).
+type DfsFrame = (NodeId, Option<NodeId>, Vec<NodeId>, usize, usize);
+
 /// Articulation points of the live graph (Tarjan's low-link DFS, iterative).
 pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
     let n = g.nodes_ever();
@@ -377,8 +384,8 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
         if visited[root.index()] {
             continue;
         }
-        // Iterative DFS with explicit frames: (node, parent, neighbour list, next index, child count).
-        let mut stack: Vec<(NodeId, Option<NodeId>, Vec<NodeId>, usize, usize)> = Vec::new();
+        // Iterative DFS with explicit frames.
+        let mut stack: Vec<DfsFrame> = Vec::new();
         visited[root.index()] = true;
         disc[root.index()] = timer;
         low[root.index()] = timer;
@@ -556,9 +563,6 @@ mod tests {
             g.add_edge(n(a), n(b)).unwrap();
         }
         let mut adv = CutPointDeleter::new(1);
-        assert_eq!(
-            adv.next_event(view(&g)),
-            Some(NetworkEvent::delete(n(2)))
-        );
+        assert_eq!(adv.next_event(view(&g)), Some(NetworkEvent::delete(n(2))));
     }
 }

@@ -33,7 +33,13 @@ fn bench_merge(c: &mut Criterion) {
     for &l in &[64usize, 1024] {
         group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
             b.iter_batched(
-                || vec![Haft::build_from(0..l), Haft::build_from(0..l / 2), Haft::build_from(0..7)],
+                || {
+                    vec![
+                        Haft::build_from(0..l),
+                        Haft::build_from(0..l / 2),
+                        Haft::build_from(0..7),
+                    ]
+                },
                 |hs| ops::merge(black_box(hs)),
                 criterion::BatchSize::SmallInput,
             );

@@ -16,8 +16,14 @@ fn main() {
     let mut table = Table::new(
         "E10 — helper accounting (Lemma 3): ≤ 1 helper per slot, rep cache never stale",
         [
-            "workload", "n", "attack", "helpers", "max helpers/proc", "max dead nbrs",
-            "slot violations", "rep fallbacks",
+            "workload",
+            "n",
+            "attack",
+            "helpers",
+            "max helpers/proc",
+            "max dead nbrs",
+            "slot violations",
+            "rep fallbacks",
         ],
     );
     for &(workload, n) in &[("er", 128usize), ("ba", 128), ("star", 64)] {
@@ -51,12 +57,7 @@ fn main() {
             let max_dead = fg
                 .image()
                 .iter()
-                .map(|v| {
-                    fg.ghost()
-                        .neighbors(v)
-                        .filter(|&x| !fg.is_alive(x))
-                        .count()
-                })
+                .map(|v| fg.ghost().neighbors(v).filter(|&x| !fg.is_alive(x)).count())
                 .max()
                 .unwrap_or(0);
             assert!(max_helpers <= max_dead.max(1), "Lemma 3.1 violated");

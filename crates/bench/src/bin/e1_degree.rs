@@ -17,7 +17,13 @@ fn main() {
     let mut table = Table::new(
         "E1 — degree increase vs G' (Theorem 1.1; paper bound 3, hard envelope 4)",
         [
-            "workload", "n", "adversary", "policy", "max ratio", "mean ratio", ">3 nodes",
+            "workload",
+            "n",
+            "adversary",
+            "policy",
+            "max ratio",
+            "mean ratio",
+            ">3 nodes",
             "ratio histogram ≤1|≤2|≤3|≤4|>4",
         ],
     );

@@ -12,7 +12,13 @@ fn main() {
     let mut table = Table::new(
         "E2 — network stretch vs G' (Theorem 1.2; bound ⌈log₂ n⌉)",
         [
-            "workload", "n", "adversary", "max stretch", "mean", "bound", "within",
+            "workload",
+            "n",
+            "adversary",
+            "max stretch",
+            "mean",
+            "bound",
+            "within",
         ],
     );
     for &workload in &["star", "er", "ba", "cycle"] {

@@ -16,7 +16,13 @@ fn main() {
     let mut table = Table::new(
         "E3 — distributed repair cost (Lemma 4): messages O(d log n), rounds O(log d · log n)",
         [
-            "graph", "n", "d", "messages", "msgs/(d·log n)", "rounds", "rounds/(log d·log n)",
+            "graph",
+            "n",
+            "d",
+            "messages",
+            "msgs/(d·log n)",
+            "rounds",
+            "rounds/(log d·log n)",
             "max msg bits",
         ],
     );

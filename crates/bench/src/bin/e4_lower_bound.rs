@@ -44,7 +44,14 @@ fn measure(healer: &mut dyn SelfHealer, n: usize, rows: &mut Table) {
 fn main() {
     let mut table = Table::new(
         "E4 — Theorem 2 lower bound on the star (delete hub): β ≥ ½·log₍α−1₎(n−1)",
-        ["healer", "n", "α (max deg ratio)", "β (max stretch)", "bound(α)", "≥ bound"],
+        [
+            "healer",
+            "n",
+            "α (max deg ratio)",
+            "β (max stretch)",
+            "bound(α)",
+            "≥ bound",
+        ],
     );
     for &n in &[16usize, 64, 256, 1024, 4096] {
         let g = generators::star(n);

@@ -37,7 +37,12 @@ fn main() {
             log.deletions
         ),
         [
-            "healer", "connected", "max stretch", "mean stretch", "max deg ratio", "diameter",
+            "healer",
+            "connected",
+            "max stretch",
+            "mean stretch",
+            "max deg ratio",
+            "diameter",
             "edges",
         ],
     );

@@ -24,7 +24,14 @@ fn main() {
 
     let mut table = Table::new(
         &format!("E6 — haft shape (Lemma 1; {verified} sizes verified exhaustively)"),
-        ["l (leaves)", "binary", "depth", "⌈log₂ l⌉", "strip sizes", "spine nodes"],
+        [
+            "l (leaves)",
+            "binary",
+            "depth",
+            "⌈log₂ l⌉",
+            "strip sizes",
+            "spine nodes",
+        ],
     );
     for &l in &[1usize, 7, 8, 13, 100, 1000, 1024, 4095, 4096, 65535] {
         let h = Haft::build_from(0..l);
@@ -33,7 +40,7 @@ fn main() {
             l.to_string(),
             format!("{l:b}"),
             h.depth().to_string(),
-            ceil_log2(l).min(binary::expected_depth(l).max(0)).to_string(),
+            ceil_log2(l).min(binary::expected_depth(l)).to_string(),
             format!("{sizes:?}"),
             binary::spine_len(l).to_string(),
         ]);

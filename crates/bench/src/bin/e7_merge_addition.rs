@@ -13,7 +13,15 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     let mut table = Table::new(
         "E7 — merge ≡ binary addition (Figure 5)",
-        ["inputs (leaf counts)", "sum", "sum binary", "result strip", "depth", "⌈log₂⌉", "ok"],
+        [
+            "inputs (leaf counts)",
+            "sum",
+            "sum binary",
+            "result strip",
+            "depth",
+            "⌈log₂⌉",
+            "ok",
+        ],
     );
 
     // The figure's own example.

@@ -19,7 +19,13 @@ fn main() {
     let mut table = Table::new(
         "E9 — insertions + preprocessing: Forgiving Graph vs Forgiving Tree",
         [
-            "n0", "steps", "healer", "init msgs", "connected", "max stretch", "mean stretch",
+            "n0",
+            "steps",
+            "healer",
+            "init msgs",
+            "connected",
+            "max stretch",
+            "mean stretch",
             "max deg ratio",
         ],
     );

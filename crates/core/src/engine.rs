@@ -102,10 +102,7 @@ impl ForgivingGraph {
     }
 
     /// [`ForgivingGraph::from_graph`] with an explicit placement policy.
-    pub fn from_graph_with_policy(
-        g: &Graph,
-        policy: PlacementPolicy,
-    ) -> Result<Self, EngineError> {
+    pub fn from_graph_with_policy(g: &Graph, policy: PlacementPolicy) -> Result<Self, EngineError> {
         assert_eq!(
             g.node_count(),
             g.nodes_ever(),
@@ -294,7 +291,12 @@ impl ForgivingGraph {
         let mut anchors: BTreeSet<VKey> = BTreeSet::new();
         for &k in &removed {
             let node = self.forest.node(k);
-            for adj in node.parent.iter().chain(node.left.iter()).chain(node.right.iter()) {
+            for adj in node
+                .parent
+                .iter()
+                .chain(node.left.iter())
+                .chain(node.right.iter())
+            {
                 if !removed.contains(adj) {
                     anchors.insert(*adj);
                 }
@@ -321,7 +323,15 @@ impl ForgivingGraph {
         for root in affected_roots {
             fragments.push(Vec::new());
             let frag = fragments.len() - 1;
-            self.gather(root, frag, &removed, &tainted, &anchors, &mut fragments, &mut anchor_frag);
+            self.gather(
+                root,
+                frag,
+                &removed,
+                &tainted,
+                &anchors,
+                &mut fragments,
+                &mut anchor_frag,
+            );
         }
 
         // One fresh singleton leaf per surviving neighbour; each is its
@@ -422,7 +432,15 @@ impl ForgivingGraph {
             for &c in &kids {
                 fragments.push(Vec::new());
                 let child_frag = fragments.len() - 1;
-                self.gather(c, child_frag, removed, tainted, anchors, fragments, anchor_frag);
+                self.gather(
+                    c,
+                    child_frag,
+                    removed,
+                    tainted,
+                    anchors,
+                    fragments,
+                    anchor_frag,
+                );
             }
         } else if tainted.contains(&key) || !self.forest.node(key).is_complete() {
             // Red node: freed, children stay in the current fragment.

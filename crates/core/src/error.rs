@@ -43,7 +43,9 @@ mod tests {
             EngineError::NotAlive(NodeId::new(4)).to_string(),
             "node n4 is not alive"
         );
-        assert!(EngineError::EmptyNeighbourhood.to_string().contains("neighbour"));
+        assert!(EngineError::EmptyNeighbourhood
+            .to_string()
+            .contains("neighbour"));
         assert!(EngineError::DuplicateNeighbour(NodeId::new(1))
             .to_string()
             .contains("more than once"));

@@ -151,20 +151,17 @@ impl Forest {
     ///
     /// Panics if the helper already exists, or if either child is not a
     /// root.
-    pub(crate) fn create_helper(
-        &mut self,
-        slot: Slot,
-        left: VKey,
-        right: VKey,
-        rep: Slot,
-    ) -> VKey {
+    pub(crate) fn create_helper(&mut self, slot: Slot, left: VKey, right: VKey, rep: Slot) -> VKey {
         let key = slot.helper();
         assert!(
             !self.nodes.contains_key(&key),
             "helper {key} already exists (Lemma 3.1 violation)"
         );
         let (ln, rn) = (self.node(left), self.node(right));
-        assert!(ln.parent.is_none() && rn.parent.is_none(), "children must be roots");
+        assert!(
+            ln.parent.is_none() && rn.parent.is_none(),
+            "children must be roots"
+        );
         let node = VNode {
             parent: None,
             left: Some(left),

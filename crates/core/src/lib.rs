@@ -39,10 +39,10 @@
 #![warn(missing_docs)]
 
 mod engine;
-mod healer;
 mod error;
 mod event;
 mod forest;
+mod healer;
 mod image;
 mod merge;
 pub mod plan;

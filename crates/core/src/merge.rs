@@ -19,10 +19,7 @@ impl ForgivingGraph {
     /// Merges the anchor buckets through the balanced tree `BT_v`;
     /// returns the final reconstruction-tree root (if any tree at all
     /// participated) and the number of bottom-up rounds (`BT_v`'s height).
-    pub(crate) fn btv_merge(
-        &mut self,
-        buckets: Vec<Vec<WireTree>>,
-    ) -> (Option<VKey>, u32) {
+    pub(crate) fn btv_merge(&mut self, buckets: Vec<Vec<WireTree>>) -> (Option<VKey>, u32) {
         let count = buckets.len();
         if count == 0 {
             return (None, 0);

@@ -20,9 +20,7 @@ use std::fmt;
 ///
 /// Every `G'`-edge `(u, w)` yields exactly two slots: `(u → w)` and
 /// `(w → u)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Slot {
     /// The processor holding this slot's state.
     pub owner: NodeId,
@@ -73,9 +71,7 @@ impl fmt::Display for Slot {
 }
 
 /// Which of a slot's two virtual nodes a [`VKey`] names.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum VKind {
     /// The leaf node: the slot owner's endpoint of the edge.
     Real,
@@ -88,9 +84,7 @@ pub enum VKind {
 /// Ordered by `(owner, other, kind)` so that a `BTreeMap` range scan over
 /// one owner visits all of a processor's virtual nodes — which is exactly
 /// what a deletion must collect.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VKey {
     /// The slot this virtual node belongs to.
     pub slot: Slot,

@@ -240,11 +240,9 @@ fn paper_exact_policy_stays_within_hard_envelope() {
     // The conference pseudocode can cost a 4th neighbour per slot; the
     // engine's hard invariant (checked in check_invariants) is 4·d.
     // Measure what it actually does on a hub cascade.
-    let mut fg = ForgivingGraph::from_graph_with_policy(
-        &generators::star(17),
-        PlacementPolicy::PaperExact,
-    )
-    .unwrap();
+    let mut fg =
+        ForgivingGraph::from_graph_with_policy(&generators::star(17), PlacementPolicy::PaperExact)
+            .unwrap();
     fg.delete(n(0)).unwrap();
     fg.check_invariants().unwrap();
     let ratio = fg.max_degree_ratio();
@@ -259,7 +257,14 @@ fn adjacent_policy_degree_thresholds() {
     // trees, and its simulator only pays a 4th neighbour if that 8-leaf
     // tree later gains a parent. Hence: ≤ 3 up to 8 surviving neighbours,
     // ≤ 4 beyond — exactly what E1 quantifies.
-    for (size, cap) in [(3usize, 3.0), (5, 3.0), (9, 3.0), (16, 4.0), (33, 4.0), (64, 4.0)] {
+    for (size, cap) in [
+        (3usize, 3.0),
+        (5, 3.0),
+        (9, 3.0),
+        (16, 4.0),
+        (33, 4.0),
+        (64, 4.0),
+    ] {
         let mut fg = ForgivingGraph::from_graph(&generators::star(size)).unwrap();
         fg.delete(n(0)).unwrap();
         let ratio = fg.max_degree_ratio();
@@ -270,11 +275,9 @@ fn adjacent_policy_degree_thresholds() {
     }
     // The threshold is real: star(16) does produce a factor-4 node under
     // the paper-exact policy too, which is the E1 finding.
-    let mut fg = ForgivingGraph::from_graph_with_policy(
-        &generators::star(16),
-        PlacementPolicy::PaperExact,
-    )
-    .unwrap();
+    let mut fg =
+        ForgivingGraph::from_graph_with_policy(&generators::star(16), PlacementPolicy::PaperExact)
+            .unwrap();
     fg.delete(n(0)).unwrap();
     assert!(fg.max_degree_ratio() > 3.0);
 }

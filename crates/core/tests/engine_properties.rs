@@ -51,10 +51,9 @@ fn assert_stretch_and_connectivity(fg: &ForgivingGraph) {
         let di = traversal::bfs_distances(fg.image(), x);
         for &y in &alive {
             match (dg[y.index()], di[y.index()]) {
-                (Some(a), Some(b)) => assert!(
-                    b <= bound * a.max(1),
-                    "stretch violated: {b} > {bound}·{a}"
-                ),
+                (Some(a), Some(b)) => {
+                    assert!(b <= bound * a.max(1), "stretch violated: {b} > {bound}·{a}")
+                }
                 (Some(_), None) => panic!("image lost connectivity"),
                 (None, Some(_)) => panic!("image gained phantom connectivity"),
                 (None, None) => {}

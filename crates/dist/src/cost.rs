@@ -1,0 +1,78 @@
+//! Lemma 4 cost accounting for one repair.
+
+use serde::{Deserialize, Serialize};
+
+/// `⌈log₂ n⌉`, floored at 1 — the bit cost of one node name.
+pub(crate) fn ceil_log2(n: usize) -> u64 {
+    let n = n.max(2);
+    u64::from((usize::BITS - (n - 1).leading_zeros()).max(1))
+}
+
+/// What one deletion repair cost the message-passing protocol — the
+/// observable quantities of Lemma 4 (Hayes–Saia–Trehan, arXiv:0902.2501):
+/// messages `O(d log n)`, rounds `O(log d · log n)`, and `O(log n)`-bit
+/// messages, where `d` is the victim's degree in `G'` and `n` the number
+/// of nodes ever seen.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairCost {
+    /// The victim's `G'` degree at deletion time — the paper's `d`.
+    pub victim_degree: usize,
+    /// Inter-processor messages sent during the repair.
+    pub messages: u64,
+    /// Synchronous rounds until the protocol quiesced.
+    pub rounds: u32,
+    /// Total payload bits across all counted messages.
+    pub bits: u64,
+    /// The largest single message, in bits (Lemma 4: `O(log n)` names).
+    pub max_message_bits: u64,
+    /// Nodes ever seen at deletion time — the paper's `n`, used by the
+    /// normalized envelopes.
+    pub nodes_ever: usize,
+}
+
+impl RepairCost {
+    /// `messages / (d · ⌈log₂ n⌉)`: flat across `d` and `n` when the
+    /// Lemma 4 message envelope holds.
+    pub fn normalized_messages(&self) -> f64 {
+        let d = self.victim_degree.max(1) as f64;
+        self.messages as f64 / (d * ceil_log2(self.nodes_ever) as f64)
+    }
+
+    /// `rounds / (⌈log₂ d⌉ · ⌈log₂ n⌉)`: flat when the Lemma 4 round
+    /// envelope holds.
+    pub fn normalized_rounds(&self) -> f64 {
+        let log_d = ceil_log2(self.victim_degree.max(2)) as f64;
+        f64::from(self.rounds) / (log_d * ceil_log2(self.nodes_ever) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_definition() {
+        assert_eq!(ceil_log2(0), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn normalization_divides_by_envelopes() {
+        let cost = RepairCost {
+            victim_degree: 16,
+            messages: 64 * 5,
+            rounds: 20,
+            bits: 1000,
+            max_message_bits: 40,
+            nodes_ever: 32,
+        };
+        // d·log n = 16·5 = 80; log d · log n = 4·5 = 20.
+        assert!((cost.normalized_messages() - 4.0).abs() < 1e-12);
+        assert!((cost.normalized_rounds() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,561 @@
+//! The network simulator: per-node actors under a deterministic
+//! round-based scheduler, plus the globally materialized views
+//! (`G'`, the image, liveness) that measurements read.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fg_core::plan::WireTree;
+use fg_core::{EngineError, ImageGraph, PlacementPolicy, SelfHealer, Slot, VKey};
+use fg_graph::{Graph, NodeId};
+
+use crate::cost::{ceil_log2, RepairCost};
+use crate::message::Message;
+use crate::processor::{Ctx, Processor, Shared, VLinks};
+
+/// A self-healing network running the Forgiving Graph's repair as a
+/// message-passing protocol (paper §4 / Lemma 4).
+///
+/// Protocol state — the reconstruction forest — lives in per-node actors
+/// ([`Processor`]s) that only communicate through typed messages delivered
+/// in synchronous rounds. The `Network` itself holds the materialized
+/// global observables (the ghost graph `G'`, the healed image, liveness)
+/// exactly as the sequential engine does, so the two implementations can
+/// be compared state-for-state; the differential suite replays identical
+/// adversarial traces through both and asserts equality after every event.
+///
+/// # Examples
+///
+/// ```
+/// use fg_core::PlacementPolicy;
+/// use fg_dist::Network;
+/// use fg_graph::{generators, traversal, NodeId};
+///
+/// let mut net = Network::from_graph(&generators::star(9), PlacementPolicy::Adjacent);
+/// let cost = net.delete(NodeId::new(0))?;
+/// assert_eq!(cost.victim_degree, 8);
+/// assert!(cost.normalized_messages() < 16.0);
+/// assert!(traversal::is_connected(net.image()));
+/// # Ok::<(), fg_core::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    ghost: Graph,
+    alive: Vec<bool>,
+    image: ImageGraph,
+    policy: PlacementPolicy,
+    procs: Vec<Processor>,
+    /// Accounting for every repair this network has run, in order.
+    pub repair_costs: Vec<RepairCost>,
+}
+
+impl Network {
+    /// Adopts an existing network as `G_0` — pure state initialisation,
+    /// no preprocessing messages (the paper's improvement over the
+    /// Forgiving Tree's `O(n log n)` setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` contains removed (tombstoned) nodes.
+    pub fn from_graph(g: &Graph, policy: PlacementPolicy) -> Self {
+        assert_eq!(
+            g.node_count(),
+            g.nodes_ever(),
+            "G0 must not contain tombstoned nodes"
+        );
+        let mut net = Network {
+            ghost: Graph::new(),
+            alive: Vec::new(),
+            image: ImageGraph::new(),
+            policy,
+            procs: Vec::new(),
+            repair_costs: Vec::new(),
+        };
+        for i in 0..g.node_count() {
+            net.ghost.add_node();
+            net.image.add_node();
+            net.alive.push(true);
+            net.procs.push(Processor::new(NodeId::new(i as u32)));
+        }
+        for e in g.edges() {
+            net.ghost
+                .add_edge(e.lo(), e.hi())
+                .expect("copying a simple graph");
+            net.image.inc(e.lo(), e.hi());
+        }
+        net
+    }
+
+    /// The insert-only graph `G'`.
+    pub fn ghost(&self) -> &Graph {
+        &self.ghost
+    }
+
+    /// The healed network as a simple graph over live processors.
+    pub fn image(&self) -> &Graph {
+        self.image.simple()
+    }
+
+    /// Whether `v` is currently alive.
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Live node count.
+    pub fn alive_count(&self) -> usize {
+        self.image.simple().node_count()
+    }
+
+    /// Total nodes ever seen — the paper's `n`.
+    pub fn nodes_ever(&self) -> usize {
+        self.ghost.nodes_ever()
+    }
+
+    /// The placement policy every merge plan uses.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Number of virtual nodes currently alive across all processors.
+    pub fn vnode_count(&self) -> usize {
+        self.procs.iter().map(|p| p.vnodes.len()).sum()
+    }
+
+    /// The distributed reconstruction forest, flattened for comparison
+    /// with the sequential engine: `(key, parent, left, right, leaves,
+    /// height, representative)` in key order. The differential suite
+    /// asserts this equals the engine's forest after every event.
+    #[allow(clippy::type_complexity)]
+    pub fn forest_snapshot(
+        &self,
+    ) -> Vec<(
+        VKey,
+        Option<VKey>,
+        Option<VKey>,
+        Option<VKey>,
+        u32,
+        u32,
+        Slot,
+    )> {
+        let mut out = Vec::new();
+        for p in &self.procs {
+            for (key, n) in &p.vnodes {
+                out.push((*key, n.parent, n.left, n.right, n.leaves, n.height, n.rep));
+            }
+        }
+        out.sort_by_key(|entry| entry.0);
+        out
+    }
+
+    /// Adversarially inserts a node connected to `neighbors`.
+    ///
+    /// Insertion needs no healing (paper §3): the new processor and its
+    /// neighbours record the edges locally.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the engine: [`EngineError::EmptyNeighbourhood`],
+    /// [`EngineError::DuplicateNeighbour`], [`EngineError::NotAlive`].
+    pub fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+        if neighbors.is_empty() {
+            return Err(EngineError::EmptyNeighbourhood);
+        }
+        let mut seen = BTreeSet::new();
+        for &x in neighbors {
+            if !seen.insert(x) {
+                return Err(EngineError::DuplicateNeighbour(x));
+            }
+            if !self.is_alive(x) {
+                return Err(EngineError::NotAlive(x));
+            }
+        }
+        let v = self.ghost.add_node();
+        let iv = self.image.add_node();
+        debug_assert_eq!(v, iv, "ghost and image ids must stay aligned");
+        self.alive.push(true);
+        self.procs.push(Processor::new(v));
+        for &x in neighbors {
+            self.ghost.add_edge(v, x).expect("fresh node, fresh edges");
+            self.image.inc(v, x);
+        }
+        Ok(v)
+    }
+
+    /// Adversarially deletes `v` and runs the repair protocol to
+    /// quiescence, returning the Lemma 4 accounting.
+    ///
+    /// The repair proceeds in the paper's phases, each a burst of
+    /// synchronous message rounds: will-based failure detection, the
+    /// upward taint climb, the shatter walk that frees red nodes and
+    /// collects primary roots per fragment, bucket routing to each
+    /// fragment's smallest anchor, and the bottom-up `BT_v` merge in which
+    /// anchors strip incoming hafts and execute the shared `ComputeHaft`
+    /// blueprint through `MakeHelper`/`SetParent` messages.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotAlive`] if `v` is unknown or already deleted.
+    pub fn delete(&mut self, v: NodeId) -> Result<RepairCost, EngineError> {
+        if !self.is_alive(v) {
+            return Err(EngineError::NotAlive(v));
+        }
+        let victim_degree = self.ghost.degree(v);
+        let nodes_ever = self.ghost.nodes_ever();
+        let name_bits = ceil_log2(nodes_ever);
+        let mut cost = RepairCost {
+            victim_degree,
+            messages: 0,
+            rounds: 0,
+            bits: 0,
+            max_message_bits: 0,
+            nodes_ever,
+        };
+
+        // ------------------------------------------------------------
+        // Phase 0 — the failure is detected. The victim's will (its slot
+        // table, replicated to image neighbours while it was alive) lets
+        // every affected processor act locally and identically.
+        // ------------------------------------------------------------
+        let alive_nbrs: BTreeSet<NodeId> = self
+            .ghost
+            .neighbors(v)
+            .filter(|&x| self.is_alive(x))
+            .collect();
+        let removed: BTreeMap<VKey, VLinks> = self.procs[v.index()]
+            .vnodes
+            .iter()
+            .map(|(k, n)| {
+                (
+                    *k,
+                    VLinks {
+                        parent: n.parent,
+                        left: n.left,
+                        right: n.right,
+                    },
+                )
+            })
+            .collect();
+        let mut anchor_set = BTreeSet::new();
+        for links in removed.values() {
+            for adj in links
+                .parent
+                .iter()
+                .chain(links.left.iter())
+                .chain(links.right.iter())
+            {
+                if !removed.contains_key(adj) {
+                    anchor_set.insert(*adj);
+                }
+            }
+        }
+        for &x in &alive_nbrs {
+            anchor_set.insert(Slot::new(x, v).real());
+        }
+        let shared = Shared {
+            victim: v,
+            alive_nbrs,
+            removed,
+            anchors: anchor_set.iter().copied().collect(),
+            anchor_set,
+            policy: self.policy,
+        };
+        self.alive[v.index()] = false;
+
+        // The victim's processor vanishes; internal tree edges between two
+        // of its own virtual nodes collapse to self-loops nobody else can
+        // release, so the simulator settles them here.
+        let mut victim_internal = 0u32;
+        for (_, links) in shared.removed.iter() {
+            for child in links.left.iter().chain(links.right.iter()) {
+                if shared.removed.contains_key(child) {
+                    victim_internal += 1;
+                }
+            }
+        }
+        self.procs[v.index()].vnodes.clear();
+        self.procs[v.index()].end_repair();
+        for _ in 0..victim_internal {
+            self.image.dec(v, v);
+        }
+
+        // Detection round: every image neighbour processes the will.
+        let affected: Vec<NodeId> = self.image.simple().neighbor_vec(v);
+        let mut btv_root: Option<WireTree> = None;
+        let mut queue: Vec<Message> = Vec::new();
+        cost.rounds += 1;
+        for u in &affected {
+            let mut outbox = Vec::new();
+            self.procs[u.index()].receive_will(
+                &shared,
+                &mut Ctx {
+                    outbox: &mut outbox,
+                    image: &mut self.image,
+                    btv_root: &mut btv_root,
+                },
+            );
+            Self::tally(&outbox, name_bits, &mut cost);
+            queue.extend(outbox);
+        }
+
+        // Phase 1 — taint climbs to the affected roots.
+        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+
+        // Phase 2 — the shatter walk from every fragment seed.
+        let queue = self.trigger(&shared, &mut btv_root, name_bits, &mut cost, |p, s, c| {
+            p.start_walks(s, c)
+        });
+        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+
+        // Phase 3 — buckets travel to each fragment's smallest anchor.
+        let queue = self.trigger(&shared, &mut btv_root, name_bits, &mut cost, |p, _, c| {
+            p.route_buckets(c)
+        });
+        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+
+        // Phase 4 — bottom-up BT_v merge to a single reconstruction tree.
+        let queue = self.trigger(&shared, &mut btv_root, name_bits, &mut cost, |p, s, c| {
+            p.start_merges(s, c)
+        });
+        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+
+        // Quiesced: the victim is fully detached. Repair scratch is
+        // cleared everywhere — the taint climb, strips and plan execution
+        // reach processors far beyond the victim's neighbourhood.
+        self.image.remove_node(v);
+        for p in &mut self.procs {
+            p.end_repair();
+        }
+        self.repair_costs.push(cost.clone());
+        Ok(cost)
+    }
+
+    /// Runs one local step at every processor (a phase kickoff), returning
+    /// the emitted messages. Counts as one synchronous round.
+    fn trigger<F>(
+        &mut self,
+        shared: &Shared,
+        btv_root: &mut Option<WireTree>,
+        name_bits: u64,
+        cost: &mut RepairCost,
+        mut step: F,
+    ) -> Vec<Message>
+    where
+        F: FnMut(&mut Processor, &Shared, &mut Ctx<'_>),
+    {
+        cost.rounds += 1;
+        let mut queue = Vec::new();
+        for p in &mut self.procs {
+            let mut outbox = Vec::new();
+            step(
+                p,
+                shared,
+                &mut Ctx {
+                    outbox: &mut outbox,
+                    image: &mut self.image,
+                    btv_root,
+                },
+            );
+            Self::tally(&outbox, name_bits, cost);
+            queue.extend(outbox);
+        }
+        queue
+    }
+
+    /// Delivers messages round by round until the network quiesces.
+    fn run_rounds(
+        &mut self,
+        mut queue: Vec<Message>,
+        shared: &Shared,
+        btv_root: &mut Option<WireTree>,
+        name_bits: u64,
+        cost: &mut RepairCost,
+    ) {
+        while !queue.is_empty() {
+            cost.rounds += 1;
+            // Stable intra-round ordering (see `Payload::priority`).
+            queue.sort_by_key(|m| m.payload.priority());
+            let mut outbox = Vec::new();
+            for msg in queue.drain(..) {
+                self.procs[msg.dst.index()].handle(
+                    msg.payload,
+                    shared,
+                    &mut Ctx {
+                        outbox: &mut outbox,
+                        image: &mut self.image,
+                        btv_root,
+                    },
+                );
+            }
+            Self::tally(&outbox, name_bits, cost);
+            queue = outbox;
+        }
+    }
+
+    /// Adds a batch of freshly sent messages to the Lemma 4 tallies.
+    /// Self-addressed messages model local computation and are free.
+    fn tally(outbox: &[Message], name_bits: u64, cost: &mut RepairCost) {
+        for m in outbox {
+            if m.src == m.dst {
+                continue;
+            }
+            let bits = m.payload.bits(name_bits);
+            cost.messages += 1;
+            cost.bits += bits;
+            cost.max_message_bits = cost.max_message_bits.max(bits);
+        }
+    }
+}
+
+impl SelfHealer for Network {
+    fn name(&self) -> &'static str {
+        "fg-dist"
+    }
+
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+        Network::insert(self, neighbors)
+    }
+
+    fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
+        Network::delete(self, v).map(|_| ())
+    }
+
+    fn image(&self) -> &Graph {
+        Network::image(self)
+    }
+
+    fn ghost(&self) -> &Graph {
+        Network::ghost(self)
+    }
+
+    fn is_alive(&self, v: NodeId) -> bool {
+        Network::is_alive(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::ForgivingGraph;
+    use fg_graph::{generators, traversal};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn assert_lockstep(net: &Network, fg: &ForgivingGraph) {
+        assert_eq!(net.image(), fg.image(), "images diverged");
+        assert_eq!(net.ghost(), fg.ghost(), "ghosts diverged");
+        let engine: Vec<_> = fg
+            .forest()
+            .iter()
+            .map(|(k, vn)| {
+                (
+                    *k, vn.parent, vn.left, vn.right, vn.leaves, vn.height, vn.rep,
+                )
+            })
+            .collect();
+        assert_eq!(net.forest_snapshot(), engine, "forests diverged");
+    }
+
+    #[test]
+    fn star_hub_repair_matches_engine() {
+        let g = generators::star(9);
+        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        let cost = net.delete(n(0)).unwrap();
+        fg.delete(n(0)).unwrap();
+        assert_lockstep(&net, &fg);
+        assert!(traversal::is_connected(net.image()));
+        assert_eq!(cost.victim_degree, 8);
+        assert!(cost.messages > 0);
+        assert!(cost.rounds > 3, "a real repair takes several rounds");
+    }
+
+    #[test]
+    fn cascade_on_grid_matches_engine() {
+        let g = generators::grid(4, 4);
+        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        for i in 0..16u32 {
+            net.delete(n(i)).unwrap();
+            fg.delete(n(i)).unwrap();
+            assert_lockstep(&net, &fg);
+        }
+        assert_eq!(net.alive_count(), 0);
+        assert_eq!(net.vnode_count(), 0, "the distributed forest must drain");
+    }
+
+    #[test]
+    fn paper_exact_policy_matches_engine() {
+        let g = generators::connected_erdos_renyi(24, 0.12, 5);
+        let mut net = Network::from_graph(&g, PlacementPolicy::PaperExact);
+        let mut fg =
+            ForgivingGraph::from_graph_with_policy(&g, PlacementPolicy::PaperExact).unwrap();
+        for i in [0u32, 3, 7, 11, 2, 15, 9] {
+            net.delete(n(i)).unwrap();
+            fg.delete(n(i)).unwrap();
+            assert_lockstep(&net, &fg);
+        }
+    }
+
+    #[test]
+    fn inserts_mirror_engine() {
+        let g = generators::cycle(6);
+        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        let a = net.insert(&[n(0), n(3)]).unwrap();
+        let b = fg.insert(&[n(0), n(3)]).unwrap();
+        assert_eq!(a, b);
+        net.delete(n(0)).unwrap();
+        fg.delete(n(0)).unwrap();
+        assert_lockstep(&net, &fg);
+        assert_eq!(
+            net.insert(&[n(0)]),
+            Err(EngineError::NotAlive(n(0))),
+            "dead neighbours are rejected"
+        );
+        assert_eq!(net.insert(&[]), Err(EngineError::EmptyNeighbourhood));
+        assert_eq!(
+            net.insert(&[n(1), n(1)]),
+            Err(EngineError::DuplicateNeighbour(n(1)))
+        );
+    }
+
+    #[test]
+    fn delete_errors_match_engine() {
+        let mut net = Network::from_graph(&generators::path(3), PlacementPolicy::Adjacent);
+        assert_eq!(net.delete(n(9)), Err(EngineError::NotAlive(n(9))));
+        net.delete(n(1)).unwrap();
+        assert_eq!(net.delete(n(1)), Err(EngineError::NotAlive(n(1))));
+    }
+
+    #[test]
+    fn isolated_victim_needs_no_messages() {
+        let mut g = generators::path(3);
+        let iso = g.add_node();
+        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        let cost = net.delete(iso).unwrap();
+        assert_eq!(cost.messages, 0);
+        assert_eq!(cost.victim_degree, 0);
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let build = || {
+            let g = generators::connected_erdos_renyi(20, 0.15, 3);
+            let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+            let costs: Vec<RepairCost> = (0..6u32).map(|i| net.delete(n(i)).unwrap()).collect();
+            (net.forest_snapshot(), costs)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn self_healer_surface_works() {
+        let mut net = Network::from_graph(&generators::star(5), PlacementPolicy::Adjacent);
+        let healer: &mut dyn SelfHealer = &mut net;
+        assert_eq!(healer.name(), "fg-dist");
+        healer.delete(n(0)).unwrap();
+        assert!(!healer.is_alive(n(0)));
+        assert_eq!(healer.image().node_count(), 4);
+    }
+}

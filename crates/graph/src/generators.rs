@@ -172,7 +172,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 /// Panics if `m == 0` or `n < m + 1`.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m >= 1, "attachment count must be positive");
-    assert!(n >= m + 1, "need at least m + 1 nodes");
+    assert!(n > m, "need at least m + 1 nodes");
     let mut r = rng(seed);
     let mut g = complete(m + 1);
     // Endpoint multiset: sampling uniformly from it = degree-proportional.
@@ -208,11 +208,11 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
 ///
 /// Panics if `n·d` is odd or `d ≥ n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be below n");
     let mut r = rng(seed);
     'attempt: for _ in 0..200 {
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut r);
         let mut g = Graph::with_nodes(n);
         for pair in stubs.chunks_exact(2) {

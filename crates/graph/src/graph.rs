@@ -135,10 +135,7 @@ impl Graph {
 
     /// Maximum degree over live nodes (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.iter()
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        self.iter().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Iterates over live node ids in increasing order.

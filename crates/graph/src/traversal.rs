@@ -134,13 +134,7 @@ pub fn eccentricity(g: &Graph, v: NodeId) -> Option<u32> {
     if !g.contains(v) {
         return None;
     }
-    Some(
-        bfs_distances(g, v)
-            .into_iter()
-            .flatten()
-            .max()
-            .unwrap_or(0),
-    )
+    Some(bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0))
 }
 
 /// Exact diameter: the largest eccentricity over live nodes, ignoring

@@ -166,11 +166,7 @@ fn import<L>(arena: &mut Arena<L>, haft: Haft<L>) -> NodeIdx {
     import_rec(arena, &mut nodes, root)
 }
 
-fn import_rec<L>(
-    arena: &mut Arena<L>,
-    nodes: &mut [Option<HaftNode<L>>],
-    idx: NodeIdx,
-) -> NodeIdx {
+fn import_rec<L>(arena: &mut Arena<L>, nodes: &mut [Option<HaftNode<L>>], idx: NodeIdx) -> NodeIdx {
     match nodes[idx].take().expect("import visits nodes once") {
         HaftNode::Leaf { payload } => arena.leaf(payload),
         HaftNode::Internal { left, right, .. } => {

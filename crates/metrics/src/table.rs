@@ -90,7 +90,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -155,7 +159,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(4.14159), "4.14");
         assert_eq!(f3(2.0), "2.000");
         assert_eq!(f2(f64::INFINITY), "∞");
     }

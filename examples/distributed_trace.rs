@@ -15,13 +15,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("star(17): hub n0 with 16 spokes — deleting the hub\n");
 
     let cost = net.delete(NodeId::new(0))?;
-    println!("repair protocol accounting (victim degree d = {}):", cost.victim_degree);
-    println!("  messages      : {:>6}   (Lemma 4: O(d log n))", cost.messages);
+    println!(
+        "repair protocol accounting (victim degree d = {}):",
+        cost.victim_degree
+    );
+    println!(
+        "  messages      : {:>6}   (Lemma 4: O(d log n))",
+        cost.messages
+    );
     println!("  ÷ d·⌈log₂ n⌉  : {:>9.2}", cost.normalized_messages());
-    println!("  rounds        : {:>6}   (Lemma 4: O(log d · log n))", cost.rounds);
+    println!(
+        "  rounds        : {:>6}   (Lemma 4: O(log d · log n))",
+        cost.rounds
+    );
     println!("  ÷ log d·log n : {:>9.2}", cost.normalized_rounds());
     println!("  total bits    : {:>6}", cost.bits);
-    println!("  biggest msg   : {:>6} bits (O(log n) names)", cost.max_message_bits);
+    println!(
+        "  biggest msg   : {:>6} bits (O(log n) names)",
+        cost.max_message_bits
+    );
 
     println!(
         "\nhealed network: {} nodes, {} edges, connected = {}, diameter = {:?}",

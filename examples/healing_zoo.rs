@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "healing zoo — BA(96,2), {} hub deletions (same trace for everyone)",
             log.deletions
         ),
-        ["healer", "connected", "max stretch", "max deg ratio", "edges"],
+        [
+            "healer",
+            "connected",
+            "max stretch",
+            "max deg ratio",
+            "edges",
+        ],
     );
     let h = measure(&fg);
     table.push_row([

@@ -12,12 +12,17 @@ use fg_graph::generators;
 use fg_metrics::{measure_sampled, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut network = ForgivingGraph::from_graph(&generators::connected_erdos_renyi(
-        128, 0.06, 1,
-    ))?;
+    let mut network = ForgivingGraph::from_graph(&generators::connected_erdos_renyi(128, 0.06, 1))?;
     let mut table = Table::new(
         "overlay health under churn (55% crashes / 45% joins)",
-        ["step", "alive", "ever", "connected", "max stretch", "max deg ratio"],
+        [
+            "step",
+            "alive",
+            "ever",
+            "connected",
+            "max stretch",
+            "max deg ratio",
+        ],
     );
     let mut adv = ChurnAdversary::new(77, 0.55, 3, 16, 1000);
     for checkpoint in 0..10 {

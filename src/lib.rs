@@ -24,4 +24,5 @@ pub use fg_baselines as baselines;
 pub use fg_core as core;
 pub use fg_dist as dist;
 pub use fg_graph as graph;
+pub use fg_haft as haft;
 pub use fg_metrics as metrics;

@@ -34,7 +34,8 @@ fn paper_contract_under_every_adversary() {
     for (name, adversary) in &mut cases {
         let mut fg = ForgivingGraph::from_graph(&g).unwrap();
         run_attack(&mut fg, adversary.as_mut(), 200).unwrap();
-        fg.check_invariants().unwrap_or_else(|e| panic!("{name}: {e}"));
+        fg.check_invariants()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let health = measure_sampled(&fg, 24, 9);
         assert!(health.connected, "{name} disconnected the network");
         assert!(
@@ -152,5 +153,9 @@ fn long_mixed_campaign_drains_cleanly() {
     }
     assert_eq!(fg.alive_count(), 0);
     assert_eq!(fg.forest_len(), 0, "no virtual nodes may leak");
-    assert_eq!(fg.stats().rep_fallbacks, 0, "representative cache never stale");
+    assert_eq!(
+        fg.stats().rep_fallbacks,
+        0,
+        "representative cache never stale"
+    );
 }

@@ -39,6 +39,65 @@ fn lockstep(seed: u64, bytes: &[u8]) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Lemma 4 envelope constants measured across this workspace's workloads
+/// (worst observed: ≈14.3 normalized messages on low-degree victims of
+/// large reconstruction trees, ≈5.0 normalized rounds on tiny victims);
+/// the protocol must stay below these for every cascaded deletion.
+const LEMMA4_MESSAGE_CONSTANT: f64 = 24.0;
+const LEMMA4_ROUND_CONSTANT: f64 = 8.0;
+/// The largest protocol payload carries a fixed number of node names
+/// (a `CollectTree` is ~10 names plus flags), so every message must fit
+/// in this many names of `⌈log₂ n⌉` bits each.
+const LEMMA4_NAMES_PER_MESSAGE: u64 = 16;
+
+/// `⌈log₂ n⌉`, floored at 1 — one node name in bits.
+fn name_bits(n: usize) -> u64 {
+    let n = n.max(2);
+    u64::from((usize::BITS - (n - 1).leading_zeros()).max(1))
+}
+
+/// Runs a cascade of deletions through the protocol and asserts every
+/// repair stays inside the Lemma 4 envelopes.
+fn assert_lemma4_envelopes(
+    label: &str,
+    g: &fg_graph::Graph,
+    picks: &[u16],
+) -> Result<(), TestCaseError> {
+    let mut net = Network::from_graph(g, PlacementPolicy::Adjacent);
+    for &p in picks {
+        let alive: Vec<NodeId> = net.image().iter().collect();
+        if alive.len() <= 2 {
+            break;
+        }
+        let v = alive[p as usize % alive.len()];
+        net.delete(v).unwrap();
+    }
+    for cost in &net.repair_costs {
+        prop_assert!(
+            cost.normalized_messages() < LEMMA4_MESSAGE_CONSTANT,
+            "{label}: messages not O(d log n): {} msgs for d = {} (normalized {:.2})",
+            cost.messages,
+            cost.victim_degree,
+            cost.normalized_messages()
+        );
+        prop_assert!(
+            cost.normalized_rounds() < LEMMA4_ROUND_CONSTANT,
+            "{label}: rounds not O(log d · log n): {} rounds for d = {} (normalized {:.2})",
+            cost.rounds,
+            cost.victim_degree,
+            cost.normalized_rounds()
+        );
+        prop_assert!(
+            cost.max_message_bits <= LEMMA4_NAMES_PER_MESSAGE * name_bits(cost.nodes_ever),
+            "{label}: message of {} bits exceeds {} names of ⌈log₂ {}⌉ bits",
+            cost.max_message_bits,
+            LEMMA4_NAMES_PER_MESSAGE,
+            cost.nodes_ever
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -50,6 +109,41 @@ proptest! {
         bytes in prop::collection::vec(any::<u8>(), 1..24),
     ) {
         lockstep(seed, &bytes)?;
+    }
+
+    /// Lemma 4 on the star: hub-first cascades of every degree stay in the
+    /// message and round envelopes.
+    #[test]
+    fn lemma4_envelopes_on_stars(
+        d in 2usize..80,
+        picks in prop::collection::vec(any::<u16>(), 1..24),
+    ) {
+        let g = generators::star(d + 1);
+        // Hub first (the worst case), then the cascade.
+        let mut schedule = vec![0u16];
+        schedule.extend(picks);
+        assert_lemma4_envelopes("star", &g, &schedule)?;
+    }
+
+    /// Lemma 4 on sparse random graphs under arbitrary delete schedules.
+    #[test]
+    fn lemma4_envelopes_on_er(
+        seed in 0u64..100,
+        picks in prop::collection::vec(any::<u16>(), 1..28),
+    ) {
+        let g = generators::connected_erdos_renyi(36, 8.0 / 36.0, seed);
+        assert_lemma4_envelopes("er", &g, &picks)?;
+    }
+
+    /// Lemma 4 on heavy-tailed graphs: hub repairs merge big trees, and
+    /// the envelopes still hold.
+    #[test]
+    fn lemma4_envelopes_on_ba(
+        seed in 0u64..100,
+        picks in prop::collection::vec(any::<u16>(), 1..28),
+    ) {
+        let g = generators::barabasi_albert(36, 2, seed);
+        assert_lemma4_envelopes("ba", &g, &picks)?;
     }
 
     /// Repair work (virtual node churn) respects the Theorem 1.3 shape on

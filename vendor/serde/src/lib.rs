@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in a container with no access to crates.io, so the
+//! real `serde` cannot be fetched. The codebase only uses serde as a
+//! *capability marker* (types derive `Serialize`/`Deserialize`, and one test
+//! asserts the bounds hold); nothing actually serializes bytes yet. This
+//! stub therefore provides the two trait names with blanket implementations
+//! and re-exports no-op derive macros, preserving source compatibility so
+//! the real crate can be dropped in unchanged once a registry is available.
+
+/// Marker for serializable types. Blanket-implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for every sized
+/// type, matching the `for<'de> Deserialize<'de>` bounds used in tests.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

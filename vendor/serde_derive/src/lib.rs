@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The sibling `serde` stub provides blanket implementations of its
+//! `Serialize`/`Deserialize` marker traits, so the derive macros here only
+//! need to exist and expand to nothing. This keeps `#[derive(Serialize,
+//! Deserialize)]` annotations compiling without network access to the real
+//! crates.io packages.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
