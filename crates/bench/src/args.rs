@@ -1,0 +1,187 @@
+//! Tiny shared CLI parsing for the experiment binaries.
+//!
+//! Every E-binary (and the throughput runner) accepts the same base flags
+//! instead of hardcoded constants:
+//!
+//! * `--seed <u64>` — base RNG seed for workloads and adversaries;
+//! * `--scale <f64>` — multiplies every size sweep (e.g. `--scale 4`
+//!   turns the 64/256/1024 sweep into 256/1024/4096);
+//! * `--json <path>` — additionally write the result tables as JSON;
+//! * binary-specific `--name value` pairs, read via [`BenchArgs::get`].
+//!
+//! Parsing is deliberately minimal (no external crates — the container is
+//! offline): flags are `--name value` pairs in any order.
+
+use crate::json::Json;
+use fg_metrics::Table;
+use std::str::FromStr;
+
+/// Parsed command-line flags for an experiment binary.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    flags: Vec<(String, String)>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage context) on a flag without a value or a
+    /// positional argument — every argument must be a `--name value` pair.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    pub fn parse_from<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().map(Into::into);
+        while let Some(arg) = iter.next() {
+            let name = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got {arg:?}"))
+                .to_string();
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{name} needs a value"));
+            flags.push((name, value));
+        }
+        BenchArgs { flags }
+    }
+
+    /// The raw value of `--name`, if given (last occurrence wins).
+    pub fn raw(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The parsed value of `--name`, or `default` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse as `T`.
+    pub fn get<T: FromStr>(&self, name: &str, default: T) -> T {
+        match self.raw(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} {v:?} is not a valid value")),
+            None => default,
+        }
+    }
+
+    /// The base seed (`--seed`), defaulting to the binary's historical
+    /// constant.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.get("seed", default)
+    }
+
+    /// Scales a size from a sweep by `--scale` (default 1.0), keeping a
+    /// sane floor so tiny scales stay runnable.
+    pub fn scale_n(&self, n: usize) -> usize {
+        self.scale_with_floor(n, 8)
+    }
+
+    /// [`BenchArgs::scale_n`] with an explicit floor — for degree sweeps
+    /// whose small entries are meaningful (e.g. E3's d = 4).
+    pub fn scale_with_floor(&self, n: usize, floor: usize) -> usize {
+        let scale: f64 = self.get("scale", 1.0);
+        ((n as f64 * scale).round() as usize).max(floor)
+    }
+
+    /// The `--json` output path, if given.
+    pub fn json_path(&self) -> Option<&str> {
+        self.raw("json")
+    }
+
+    /// Prints every table as markdown and, when `--json` was given, writes
+    /// them all to that path as a JSON array of
+    /// `{title, headers, rows}` objects.
+    pub fn emit(&self, tables: &[&Table]) {
+        for table in tables {
+            println!("{}", table.to_markdown());
+        }
+        if let Some(path) = self.json_path() {
+            let doc = Json::Arr(tables.iter().map(|t| table_json(t)).collect());
+            std::fs::write(path, doc.pretty())
+                .unwrap_or_else(|e| panic!("writing --json {path:?}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// A [`Table`] as a JSON object.
+pub fn table_json(table: &Table) -> Json {
+    Json::obj()
+        .field("title", Json::str(table.title()))
+        .field(
+            "headers",
+            Json::Arr(table.headers().iter().map(Json::str).collect()),
+        )
+        .field(
+            "rows",
+            Json::Arr(
+                table
+                    .rows()
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                    .collect(),
+            ),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flag_pairs() {
+        let args = BenchArgs::parse_from(["--seed", "9", "--scale", "0.5", "--json", "out.json"]);
+        assert_eq!(args.seed(7), 9);
+        assert_eq!(args.scale_n(64), 32);
+        assert_eq!(args.json_path(), Some("out.json"));
+        assert_eq!(args.get("threshold", 256usize), 256);
+    }
+
+    #[test]
+    fn defaults_when_absent() {
+        let args = BenchArgs::parse_from(Vec::<String>::new());
+        assert_eq!(args.seed(7), 7);
+        assert_eq!(args.scale_n(64), 64);
+        assert_eq!(args.json_path(), None);
+    }
+
+    #[test]
+    fn scale_keeps_floor() {
+        let args = BenchArgs::parse_from(["--scale", "0.01"]);
+        assert_eq!(args.scale_n(64), 8);
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let args = BenchArgs::parse_from(["--seed", "1", "--seed", "2"]);
+        assert_eq!(args.seed(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        let _ = BenchArgs::parse_from(["--seed"]);
+    }
+
+    #[test]
+    fn table_json_shape() {
+        let mut t = Table::new("T", ["a", "b"]);
+        t.push_row(["1", "2"]);
+        let text = table_json(&t).pretty();
+        assert!(text.contains("\"title\": \"T\""));
+        assert!(text.contains("\"rows\""));
+    }
+}

@@ -6,13 +6,15 @@
 //! fallbacks). Measured over heavy churn on several workloads.
 
 use fg_adversary::{run_attack, ChurnAdversary, MaxDegreeDeleter};
-use fg_bench::engine;
+use fg_bench::{engine, BenchArgs};
 use fg_core::PlacementPolicy;
 use fg_graph::NodeId;
 use fg_metrics::Table;
 use std::collections::BTreeMap;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed(17);
     let mut table = Table::new(
         "E10 — helper accounting (Lemma 3): ≤ 1 helper per slot, rep cache never stale",
         [
@@ -26,11 +28,12 @@ fn main() {
             "rep fallbacks",
         ],
     );
-    for &(workload, n) in &[("er", 128usize), ("ba", 128), ("star", 64)] {
+    for &(workload, base) in &[("er", 128usize), ("ba", 128), ("star", 64)] {
+        let n = args.scale_n(base);
         for attack in ["churn", "hubs"] {
-            let mut fg = engine(workload, n, 17, PlacementPolicy::Adjacent);
+            let mut fg = engine(workload, n, seed, PlacementPolicy::Adjacent);
             if attack == "churn" {
-                let mut adv = ChurnAdversary::new(3, 0.55, 3, 8, 3 * n);
+                let mut adv = ChurnAdversary::new(seed.wrapping_sub(14), 0.55, 3, 8, 3 * n);
                 run_attack(&mut fg, &mut adv, 3 * n).expect("attack is legal");
             } else {
                 let mut adv = MaxDegreeDeleter::new(n / 4);
@@ -73,5 +76,5 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
 }

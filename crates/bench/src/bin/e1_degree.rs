@@ -9,11 +9,13 @@
 //! actually appears.
 
 use fg_adversary::{run_attack, Adversary, MaxDegreeDeleter, RandomDeleter};
-use fg_bench::engine;
+use fg_bench::{engine, BenchArgs};
 use fg_core::PlacementPolicy;
 use fg_metrics::{degree_stats, f2, ratio_histogram, Table};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed(7);
     let mut table = Table::new(
         "E1 — degree increase vs G' (Theorem 1.1; paper bound 3, hard envelope 4)",
         [
@@ -28,15 +30,16 @@ fn main() {
         ],
     );
     for &workload in &["star", "er", "ba", "grid"] {
-        for &n in &[64usize, 256, 1024] {
+        for &base in &[64usize, 256, 1024] {
+            let n = args.scale_n(base);
             for adv_name in ["random", "max-degree"] {
                 for policy in [PlacementPolicy::Adjacent, PlacementPolicy::PaperExact] {
-                    let mut fg = engine(workload, n, 7, policy);
+                    let mut fg = engine(workload, n, seed, policy);
                     let floor = n / 2;
                     let mut random;
                     let mut maxdeg;
                     let adv: &mut dyn Adversary = if adv_name == "random" {
-                        random = RandomDeleter::new(11, floor);
+                        random = RandomDeleter::new(seed + 4, floor);
                         &mut random
                     } else {
                         maxdeg = MaxDegreeDeleter::new(floor);
@@ -63,5 +66,5 @@ fn main() {
             }
         }
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
 }

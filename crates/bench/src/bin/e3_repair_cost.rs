@@ -7,12 +7,15 @@
 //! The normalized columns divide by the paper envelopes — flat values
 //! mean the shape holds.
 
+use fg_bench::BenchArgs;
 use fg_core::PlacementPolicy;
 use fg_dist::Network;
 use fg_graph::{generators, NodeId};
 use fg_metrics::{f2, Table};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed(13);
     let mut table = Table::new(
         "E3 — distributed repair cost (Lemma 4): messages O(d log n), rounds O(log d · log n)",
         [
@@ -27,7 +30,8 @@ fn main() {
         ],
     );
     // Star hubs: the cleanest d sweep.
-    for &d in &[4usize, 8, 16, 32, 64, 128, 256] {
+    for &base in &[4usize, 8, 16, 32, 64, 128, 256] {
+        let d = args.scale_with_floor(base, 2);
         let g = generators::star(d + 1);
         let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
         let cost = net.delete(NodeId::new(0)).expect("hub is alive");
@@ -43,8 +47,9 @@ fn main() {
         ]);
     }
     // Random graphs under cascades: merged reconstruction trees.
-    for &n in &[32usize, 64, 128, 256] {
-        let g = generators::connected_erdos_renyi(n, 8.0 / n as f64, 13);
+    for &base in &[32usize, 64, 128, 256] {
+        let n = args.scale_n(base);
+        let g = generators::connected_erdos_renyi(n, 8.0 / n as f64, seed);
         let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
         // Delete a quarter of the nodes, then report the costliest repair.
         for v in 0..(n as u32) / 4 {
@@ -67,5 +72,5 @@ fn main() {
             worst.max_message_bits.to_string(),
         ]);
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
 }

@@ -7,9 +7,10 @@
 //! optimal, matching the paper's "compares favorably" remark.
 
 use fg_baselines::{BinaryTreeHealer, CliqueHealer, CycleHealer, StarHealer};
+use fg_bench::BenchArgs;
 use fg_core::{ForgivingGraph, SelfHealer};
 use fg_graph::{generators, NodeId};
-use fg_metrics::{degree_stats, f2, stretch_exact, stretch_sampled, Table};
+use fg_metrics::{degree_stats, f2, stretch_auto, Table};
 
 fn theorem2_bound(alpha: f64, n: usize) -> f64 {
     if alpha <= 2.0 {
@@ -18,17 +19,19 @@ fn theorem2_bound(alpha: f64, n: usize) -> f64 {
     0.5 * ((n as f64) - 1.0).ln() / (alpha - 1.0).ln()
 }
 
-fn measure(healer: &mut dyn SelfHealer, n: usize, rows: &mut Table) {
+fn measure(healer: &mut dyn SelfHealer, n: usize, args: &BenchArgs, rows: &mut Table) {
     healer.delete(NodeId::new(0)).expect("hub is alive");
     let degree = degree_stats(healer.image(), healer.ghost());
-    // All-pairs stretch is exact below 1024 nodes; sampled above (the
+    // All-pairs stretch is exact below the threshold; sampled above (the
     // clique healer's quadratic edge growth makes all-pairs BFS explode,
     // which is itself part of the finding).
-    let stretch = if n <= 512 {
-        stretch_exact(healer.image(), healer.ghost())
-    } else {
-        stretch_sampled(healer.image(), healer.ghost(), 24, 11)
-    };
+    let stretch = stretch_auto(
+        healer.image(),
+        healer.ghost(),
+        args.get("stretch-threshold", 512),
+        args.get("stretch-samples", 24),
+        args.seed(11),
+    );
     let alpha = degree.max_ratio.max(3.0);
     let bound = theorem2_bound(alpha, n);
     rows.push_row([
@@ -42,6 +45,7 @@ fn measure(healer: &mut dyn SelfHealer, n: usize, rows: &mut Table) {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let mut table = Table::new(
         "E4 — Theorem 2 lower bound on the star (delete hub): β ≥ ½·log₍α−1₎(n−1)",
         [
@@ -53,22 +57,23 @@ fn main() {
             "≥ bound",
         ],
     );
-    for &n in &[16usize, 64, 256, 1024, 4096] {
+    for &base in &[16usize, 64, 256, 1024, 4096] {
+        let n = args.scale_n(base);
         let g = generators::star(n);
         let mut fg = ForgivingGraph::from_graph(&g).expect("fresh graph");
-        measure(&mut fg, n, &mut table);
+        measure(&mut fg, n, &args, &mut table);
         let mut bt = BinaryTreeHealer::from_graph(&g);
-        measure(&mut bt, n, &mut table);
+        measure(&mut bt, n, &args, &mut table);
         let mut cy = CycleHealer::from_graph(&g);
-        measure(&mut cy, n, &mut table);
+        measure(&mut cy, n, &args, &mut table);
         let mut st = StarHealer::from_graph(&g);
-        measure(&mut st, n, &mut table);
+        measure(&mut st, n, &args, &mut table);
         if n <= 1024 {
             let mut cl = CliqueHealer::from_graph(&g);
-            measure(&mut cl, n, &mut table);
+            measure(&mut cl, n, &args, &mut table);
         }
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
     println!(
         "Reading: the cycle healer keeps α low but pays β = Θ(n); the star/clique healers \
          buy β ≤ 2 with unbounded α; the Forgiving Graph sits at α ≤ 3–4 with β ≤ ⌈log₂ n⌉, \

@@ -9,17 +9,20 @@ use fg_adversary::{replay, run_attack, RandomDeleter};
 use fg_baselines::{
     BinaryTreeHealer, CliqueHealer, CycleHealer, ForgivingTree, NoHealer, StarHealer,
 };
+use fg_bench::BenchArgs;
 use fg_core::{ForgivingGraph, SelfHealer};
 use fg_graph::generators;
 use fg_metrics::{f2, measure, Table};
 
 fn main() {
-    let n = 256;
-    let g = generators::connected_erdos_renyi(n, 8.0 / n as f64, 21);
+    let args = BenchArgs::parse();
+    let seed = args.seed(21);
+    let n = args.scale_n(256);
+    let g = generators::connected_erdos_renyi(n, 8.0 / n as f64, seed);
 
     // Record the attack once, against the Forgiving Graph.
     let mut fg = ForgivingGraph::from_graph(&g).expect("fresh graph");
-    let mut adv = RandomDeleter::new(17, n / 2);
+    let mut adv = RandomDeleter::new(seed.wrapping_sub(4), n / 2);
     let log = run_attack(&mut fg, &mut adv, n).expect("attack is legal");
 
     let mut healers: Vec<Box<dyn SelfHealer>> = vec![
@@ -71,5 +74,5 @@ fn main() {
             healer.image().edge_count().to_string(),
         ]);
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
 }

@@ -5,14 +5,16 @@
 //! All three properties are checked exhaustively for `l ≤ 4096` and
 //! reported for landmark sizes.
 
-use fg_bench::ceil_log2;
+use fg_bench::{ceil_log2, BenchArgs};
 use fg_haft::{binary, ops, Haft};
 use fg_metrics::Table;
 
 fn main() {
+    let args = BenchArgs::parse();
     // Exhaustive verification first.
+    let cap = args.scale_n(4096);
     let mut verified = 0usize;
-    for l in 1..=4096usize {
+    for l in 1..=cap {
         let h = Haft::build_from(0..l);
         assert_eq!(h.depth(), binary::expected_depth(l), "depth at l = {l}");
         assert_eq!(h.primary_root_sizes(), binary::set_bit_sizes(l));
@@ -45,5 +47,5 @@ fn main() {
             binary::spine_len(l).to_string(),
         ]);
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
 }

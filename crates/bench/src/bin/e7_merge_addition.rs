@@ -5,12 +5,14 @@
 //! decomposition always equals the set bits of the summed leaf count, and
 //! its depth is `⌈log₂ Σ⌉`.
 
+use fg_bench::BenchArgs;
 use fg_haft::{binary, ops, Haft};
 use fg_metrics::Table;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
+    let args = BenchArgs::parse();
     let mut table = Table::new(
         "E7 — merge ≡ binary addition (Figure 5)",
         [
@@ -26,7 +28,7 @@ fn main() {
 
     // The figure's own example.
     let mut cases: Vec<Vec<usize>> = vec![vec![5, 2, 1]];
-    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed(42));
     for _ in 0..9 {
         let k = rng.gen_range(2..6);
         cases.push((0..k).map(|_| rng.gen_range(1..500)).collect());
@@ -60,6 +62,6 @@ fn main() {
             ok.to_string(),
         ]);
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
     println!("({random_checks} additional random merges verified silently.)");
 }

@@ -5,17 +5,19 @@
 //! Deletes the hub of a star of degree `d` and measures the worst
 //! pairwise distance among its former neighbours in the healed network.
 
-use fg_bench::ceil_log2;
+use fg_bench::{ceil_log2, BenchArgs};
 use fg_core::ForgivingGraph;
 use fg_graph::{generators, traversal, NodeId};
 use fg_metrics::Table;
 
 fn main() {
+    let args = BenchArgs::parse();
     let mut table = Table::new(
         "E8 — neighbour distance through one reconstruction tree (bound 2·⌈log₂ d⌉)",
         ["d", "RT depth", "max pair dist", "bound", "within"],
     );
-    for &d in &[2usize, 4, 8, 16, 64, 256, 1024, 4096] {
+    for &base in &[2usize, 4, 8, 16, 64, 256, 1024, 4096] {
+        let d = args.scale_with_floor(base, 2);
         let mut fg = ForgivingGraph::from_graph(&generators::star(d + 1)).expect("fresh");
         let report = fg.delete(NodeId::new(0)).expect("hub alive");
         // Worst pairwise distance among the hub's former neighbours.
@@ -38,5 +40,5 @@ fn main() {
             (worst <= bound).to_string(),
         ]);
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
 }

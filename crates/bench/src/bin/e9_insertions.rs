@@ -11,11 +11,14 @@
 
 use fg_adversary::{replay, run_attack, ChurnAdversary};
 use fg_baselines::ForgivingTree;
+use fg_bench::BenchArgs;
 use fg_core::ForgivingGraph;
 use fg_graph::generators;
 use fg_metrics::{f2, measure_sampled, Table};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed(31);
     let mut table = Table::new(
         "E9 — insertions + preprocessing: Forgiving Graph vs Forgiving Tree",
         [
@@ -29,12 +32,13 @@ fn main() {
             "max deg ratio",
         ],
     );
-    for &n in &[64usize, 256] {
-        let g = generators::connected_erdos_renyi(n, 8.0 / n as f64, 31);
+    for &base in &[64usize, 256] {
+        let n = args.scale_n(base);
+        let g = generators::connected_erdos_renyi(n, 8.0 / n as f64, seed);
         let mut fg = ForgivingGraph::from_graph(&g).expect("fresh");
         // Insert-heavy churn: 70% insertions with fan up to 4.
         let steps = 2 * n;
-        let mut adv = ChurnAdversary::new(9, 0.3, 4, 8, steps);
+        let mut adv = ChurnAdversary::new(seed.wrapping_sub(22), 0.3, 4, 8, steps);
         let log = run_attack(&mut fg, &mut adv, steps).expect("attack is legal");
         fg.check_invariants().expect("invariants hold");
 
@@ -42,8 +46,11 @@ fn main() {
         replay(&mut ft, &log.events).expect("same trace is legal");
 
         for (init, summary) in [
-            (0u64, measure_sampled(&fg, 64, 5)),
-            (ft.init_messages(), measure_sampled(&ft, 64, 5)),
+            (0u64, measure_sampled(&fg, 64, seed.wrapping_sub(26))),
+            (
+                ft.init_messages(),
+                measure_sampled(&ft, 64, seed.wrapping_sub(26)),
+            ),
         ] {
             table.push_row([
                 n.to_string(),
@@ -57,5 +64,5 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.to_markdown());
+    args.emit(&[&table]);
 }

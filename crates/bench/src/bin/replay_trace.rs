@@ -1,0 +1,66 @@
+//! Replays a dumped scenario trace (`throughput --trace-out`) through the
+//! sequential engine and prints one JSON line of throughput numbers.
+//!
+//! Usage: `replay_trace <trace-file> [runs]`
+//!
+//! Deliberately self-contained (std-only parsing, no fg-bench helpers) so
+//! the identical source compiles against older revisions of the
+//! workspace — this is the apples-to-apples driver behind the
+//! old-layout vs arena-layout numbers in `BENCH_throughput.json`.
+
+use fg_core::{ForgivingGraph, NetworkEvent};
+use fg_graph::{Graph, NodeId};
+use std::time::Instant;
+
+fn parse(text: &str) -> (Graph, Vec<NetworkEvent>) {
+    let mut g = Graph::new();
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let tag = match parts.next() {
+            Some(t) => t,
+            None => continue,
+        };
+        let ids: Vec<u32> = parts.map(|p| p.parse().expect("numeric field")).collect();
+        match tag {
+            "n" => {
+                while g.nodes_ever() < ids[0] as usize {
+                    g.add_node();
+                }
+            }
+            "e" => {
+                g.add_edge(NodeId::new(ids[0]), NodeId::new(ids[1]))
+                    .expect("simple trace edge");
+            }
+            "I" => events.push(NetworkEvent::insert(ids.into_iter().map(NodeId::new))),
+            "D" => events.push(NetworkEvent::delete(NodeId::new(ids[0]))),
+            other => panic!("unknown trace tag {other:?}"),
+        }
+    }
+    (g, events)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .expect("usage: replay_trace <trace-file> [runs]");
+    let runs: usize = args.next().map_or(3, |r| r.parse().expect("runs"));
+    let text = std::fs::read_to_string(&path).expect("readable trace file");
+    let (g0, events) = parse(&text);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let mut fg = ForgivingGraph::from_graph(&g0).expect("fresh G0");
+        let start = Instant::now();
+        for event in &events {
+            fg.apply(event).expect("legal trace event");
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    println!(
+        "{{\"trace\": \"{path}\", \"events\": {}, \"runs\": {runs}, \"best_wall_seconds\": {best}, \"events_per_sec\": {}}}",
+        events.len(),
+        events.len() as f64 / best
+    );
+}

@@ -1,0 +1,101 @@
+//! Throughput — end-to-end event-ingestion benchmark over the
+//! ScenarioRunner workload registry.
+//!
+//! Replays named adversarial workloads (default: the 50k-event `churn`
+//! trace the perf trajectory tracks) through the sequential engine and
+//! optionally the distributed protocol, in timed batches, and writes the
+//! machine-readable report consumed by CI (`BENCH_throughput.json`).
+//!
+//! Flags (all optional): `--workloads a,b,c`, `--n <initial size>`,
+//! `--events <count>`, `--batch <size>`, `--backend engine|dist|both`,
+//! `--trace-out <path>` (dump the trace for cross-ref replays), plus the
+//! shared `--seed` / `--scale` / `--json <path>`.
+
+use fg_bench::json::Json;
+use fg_bench::{scenario, BenchArgs, ScenarioRunner};
+use fg_core::{ForgivingGraph, PlacementPolicy, SelfHealer};
+use fg_dist::Network;
+use fg_metrics::{f2, Table};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed(42);
+    let n = args.scale_n(args.get("n", 1024usize));
+    let events = args.get("events", 50_000usize);
+    let batch = args.get("batch", 256usize);
+    let backend = args.get("backend", "engine".to_string());
+    let names = args.get("workloads", "churn".to_string());
+    let json_path = args.json_path().unwrap_or("BENCH_throughput.json");
+
+    let runner = ScenarioRunner::new(batch);
+    let mut table = Table::new(
+        &format!("Throughput — ScenarioRunner, n={n}, {events} events, batch {batch}"),
+        [
+            "workload",
+            "backend",
+            "events",
+            "deletes",
+            "wall s",
+            "events/s",
+            "mean batch ms",
+            "max batch ms",
+            "final nodes",
+        ],
+    );
+    let mut results = Vec::new();
+    for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let sc = scenario(name, n, events, seed);
+        if let Some(path) = args.raw("trace-out") {
+            std::fs::write(path, sc.to_trace()).expect("writing --trace-out");
+            eprintln!("wrote trace to {path}");
+        }
+        let mut backends: Vec<Box<dyn SelfHealer>> = Vec::new();
+        if backend == "engine" || backend == "both" {
+            backends.push(Box::new(
+                ForgivingGraph::from_graph(&sc.initial).expect("fresh G0"),
+            ));
+        }
+        if backend == "dist" || backend == "both" {
+            backends.push(Box::new(Network::from_graph(
+                &sc.initial,
+                PlacementPolicy::Adjacent,
+            )));
+        }
+        assert!(!backends.is_empty(), "unknown --backend {backend:?}");
+        for healer in &mut backends {
+            let result = runner
+                .run(&sc, healer.as_mut())
+                .expect("scenario traces are legal");
+            table.push_row([
+                result.scenario.clone(),
+                result.backend.clone(),
+                result.events.to_string(),
+                result.deletes.to_string(),
+                format!("{:.3}", result.wall_seconds),
+                format!("{:.0}", result.events_per_sec),
+                f2(result.mean_batch_ms),
+                f2(result.max_batch_ms),
+                result.final_nodes.to_string(),
+            ]);
+            results.push(result);
+        }
+    }
+    println!("{}", table.to_markdown());
+
+    let report = Json::obj()
+        .field("bench", Json::str("throughput"))
+        .field(
+            "config",
+            Json::obj()
+                .field("n", Json::Int(n as i64))
+                .field("events", Json::Int(events as i64))
+                .field("batch", Json::Int(batch as i64))
+                .field("seed", Json::Int(seed as i64)),
+        )
+        .field(
+            "results",
+            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        );
+    std::fs::write(json_path, report.pretty()).expect("writing benchmark JSON");
+    eprintln!("wrote {json_path}");
+}

@@ -1,0 +1,153 @@
+//! A minimal JSON value model and pretty-printer.
+//!
+//! The workspace's `serde` is an offline no-op stub (DESIGN.md §6), so the
+//! machine-readable `BENCH_*.json` artifacts are produced by this small
+//! hand-rolled writer instead. It covers exactly what benchmark reports
+//! need: objects with ordered keys, arrays, strings, integers and floats.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (rendered without a decimal point).
+    Int(i64),
+    /// A float (rendered with enough precision to round-trip; non-finite
+    /// values degrade to `null` per JSON's grammar).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str<S: Into<String>>(s: S) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An empty object to push fields onto.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object (panics on non-objects — builder
+    /// misuse, not data-dependent).
+    pub fn field<S: Into<String>>(mut self, key: S, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.into(), value)),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Json {
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) if f.is_finite() => out.push_str(&format!("{f}")),
+            Json::Float(_) => out.push_str("null"),
+            Json::Str(s) => escape(s, out),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.render(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    escape(key, out);
+                    out.push_str(": ");
+                    value.render(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::obj()
+            .field("name", Json::str("churn"))
+            .field("events", Json::Int(50000))
+            .field("eps", Json::Float(1234.5))
+            .field("ok", Json::Bool(true))
+            .field("tags", Json::Arr(vec![Json::str("a"), Json::str("b")]))
+            .field("empty", Json::Arr(vec![]));
+        let text = v.pretty();
+        assert!(text.contains("\"events\": 50000"));
+        assert!(text.contains("\"eps\": 1234.5"));
+        assert!(text.contains("\"tags\": [\n"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Json::str("a\"b\\c\nd");
+        assert_eq!(v.pretty(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "field() on non-object")]
+    fn field_on_scalar_panics() {
+        let _ = Json::Int(1).field("x", Json::Null);
+    }
+}

@@ -8,13 +8,24 @@
 //! tree distance claim, and E10 Lemma 3's helper accounting.
 //!
 //! Each binary prints markdown tables (the ones embedded in
-//! EXPERIMENTS.md) to stdout.
+//! EXPERIMENTS.md) to stdout; all of them share the [`args`] flag parser
+//! (`--seed` / `--scale` / `--json`). The [`scenario`] module is the
+//! throughput side of the harness: named end-to-end workloads replayed
+//! through any healer with batched ingestion, reported as
+//! machine-readable `BENCH_*.json` via [`json`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
+pub mod json;
+pub mod scenario;
+
 use fg_core::{ForgivingGraph, PlacementPolicy};
 use fg_graph::Graph;
+
+pub use args::BenchArgs;
+pub use scenario::{scenario, RunResult, Scenario, ScenarioRunner, WORKLOADS};
 
 /// The standard workload families the sweeps use.
 pub fn workload(name: &str, n: usize, seed: u64) -> Graph {

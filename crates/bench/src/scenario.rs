@@ -1,0 +1,595 @@
+//! The ScenarioRunner: named end-to-end workloads driven through any
+//! [`SelfHealer`] with batched event ingestion and throughput accounting.
+//!
+//! A [`Scenario`] is an initial graph plus a pre-generated adversarial
+//! event trace. Traces are produced by a *healer-independent* bookkeeper
+//! (its own liveness table and insert-only degree counts), so the same
+//! trace can be replayed against the sequential engine, the distributed
+//! protocol and every baseline — and, because generation is excluded from
+//! the timed region, throughput numbers measure the healer alone.
+//!
+//! The registry ([`WORKLOADS`], [`scenario`]) names the standard families:
+//!
+//! | name                 | shape                                               |
+//! |----------------------|-----------------------------------------------------|
+//! | `star`               | star-smash rounds: grow spokes onto a victim, kill it |
+//! | `er`                 | sparse Erdős–Rényi under random deletions + refills |
+//! | `ba`                 | Barabási–Albert under alternating hub kills/growth  |
+//! | `churn`              | p2p membership churn: 50/50 insert/delete, fan ≤ 3  |
+//! | `hub-cascade`        | targeted attack: always kill the max-degree node    |
+//! | `preferential-churn` | churn whose inserts attach degree-proportionally    |
+//! | `partition-then-heal`| two clusters, bridge nodes killed first, then churn |
+
+use crate::json::Json;
+use fg_core::{EngineError, NetworkEvent, SelfHealer};
+use fg_graph::{Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// The registered workload names, in registry order.
+pub const WORKLOADS: &[&str] = &[
+    "star",
+    "er",
+    "ba",
+    "churn",
+    "hub-cascade",
+    "preferential-churn",
+    "partition-then-heal",
+];
+
+/// An initial network plus a recorded adversarial trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Registry name this scenario was built from.
+    pub name: String,
+    /// Base size parameter (initial node count).
+    pub n: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// The starting network `G_0`.
+    pub initial: Graph,
+    /// The adversarial events, in order.
+    pub events: Vec<NetworkEvent>,
+}
+
+impl Scenario {
+    /// Number of deletion events in the trace.
+    pub fn deletions(&self) -> usize {
+        self.events.iter().filter(|e| e.is_delete()).count()
+    }
+
+    /// Serialises the scenario as a line-oriented trace file
+    /// (`n <nodes>` / `e <u> <v>` / `I <nbr>...` / `D <victim>`), the
+    /// format [`Scenario::read_trace`] and the old-ref replay driver parse.
+    pub fn to_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("n {}\n", self.initial.nodes_ever()));
+        for e in self.initial.edges() {
+            out.push_str(&format!("e {} {}\n", e.lo().raw(), e.hi().raw()));
+        }
+        for event in &self.events {
+            match event {
+                NetworkEvent::Insert { neighbors } => {
+                    out.push('I');
+                    for x in neighbors {
+                        out.push_str(&format!(" {}", x.raw()));
+                    }
+                    out.push('\n');
+                }
+                NetworkEvent::Delete { node } => {
+                    out.push_str(&format!("D {}\n", node.raw()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a trace produced by [`Scenario::to_trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed lines — traces are machine-written artifacts.
+    pub fn read_trace(name: &str, text: &str) -> Scenario {
+        let mut initial = Graph::new();
+        let mut events = Vec::new();
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let tag = match parts.next() {
+                Some(t) => t,
+                None => continue,
+            };
+            let ids: Vec<u32> = parts.map(|p| p.parse().expect("numeric field")).collect();
+            match tag {
+                "n" => {
+                    while initial.nodes_ever() < ids[0] as usize {
+                        initial.add_node();
+                    }
+                }
+                "e" => {
+                    initial
+                        .add_edge(NodeId::new(ids[0]), NodeId::new(ids[1]))
+                        .expect("trace edges are simple");
+                }
+                "I" => events.push(NetworkEvent::insert(ids.into_iter().map(NodeId::new))),
+                "D" => events.push(NetworkEvent::delete(NodeId::new(ids[0]))),
+                other => panic!("unknown trace tag {other:?}"),
+            }
+        }
+        let n = initial.nodes_ever();
+        Scenario {
+            name: name.to_string(),
+            n,
+            seed: 0,
+            initial,
+            events,
+        }
+    }
+}
+
+/// Healer-independent trace bookkeeping: liveness and insert-only degrees,
+/// updated as events are recorded, so strategies can pick legal victims
+/// and attachment targets without consulting any healer.
+struct TraceBuilder {
+    rng: ChaCha8Rng,
+    /// Live node ids, unordered (swap-removed); picks index into this.
+    alive: Vec<NodeId>,
+    /// Position of each node in `alive`, or `usize::MAX` once dead.
+    pos: Vec<usize>,
+    /// Insert-only (`G'`) degree per node — deletions do not decrease it.
+    ghost_deg: Vec<u32>,
+    events: Vec<NetworkEvent>,
+}
+
+impl TraceBuilder {
+    fn from_graph(g: &Graph, seed: u64) -> Self {
+        let n = g.nodes_ever();
+        TraceBuilder {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            alive: g.iter().collect(),
+            pos: (0..n).collect(),
+            ghost_deg: (0..n)
+                .map(|i| g.degree(NodeId::new(i as u32)) as u32)
+                .collect(),
+            events: Vec::new(),
+        }
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    fn record_insert(&mut self, neighbors: Vec<NodeId>) {
+        let v = NodeId::new(self.pos.len() as u32);
+        self.pos.push(self.alive.len());
+        self.alive.push(v);
+        self.ghost_deg.push(neighbors.len() as u32);
+        for &x in &neighbors {
+            self.ghost_deg[x.index()] += 1;
+        }
+        self.events.push(NetworkEvent::insert(neighbors));
+    }
+
+    fn record_delete(&mut self, v: NodeId) {
+        let p = self.pos[v.index()];
+        assert_ne!(p, usize::MAX, "deleting a dead node");
+        let last = *self.alive.last().expect("non-empty alive list");
+        self.alive.swap_remove(p);
+        if last != v {
+            self.pos[last.index()] = p;
+        }
+        self.pos[v.index()] = usize::MAX;
+        self.events.push(NetworkEvent::delete(v));
+    }
+
+    fn random_alive(&mut self) -> NodeId {
+        self.alive[self.rng.gen_range(0..self.alive.len())]
+    }
+
+    /// A live node sampled proportionally to `ghost_deg + 1`.
+    fn weighted_alive(&mut self) -> NodeId {
+        let total: u64 = self
+            .alive
+            .iter()
+            .map(|&v| u64::from(self.ghost_deg[v.index()]) + 1)
+            .sum();
+        let mut pick = self.rng.gen_range(0..total);
+        for &v in &self.alive {
+            let w = u64::from(self.ghost_deg[v.index()]) + 1;
+            if pick < w {
+                return v;
+            }
+            pick -= w;
+        }
+        unreachable!("weights cover the range")
+    }
+
+    /// The live node with the largest insert-only degree (ties: smallest id).
+    fn max_degree_alive(&self) -> NodeId {
+        *self
+            .alive
+            .iter()
+            .max_by_key(|&&v| (self.ghost_deg[v.index()], std::cmp::Reverse(v)))
+            .expect("non-empty alive list")
+    }
+
+    /// Up to `fan` distinct live attachment targets.
+    fn pick_neighbors(&mut self, fan: usize, weighted: bool) -> Vec<NodeId> {
+        let fan = fan.min(self.alive.len());
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(fan);
+        let mut guard = 0;
+        while chosen.len() < fan && guard < 20 * fan + 20 {
+            guard += 1;
+            let v = if weighted {
+                self.weighted_alive()
+            } else {
+                self.random_alive()
+            };
+            if !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        chosen
+    }
+}
+
+/// Builds a named scenario: `n` initial nodes, exactly `events` adversarial
+/// steps, all randomness drawn from `seed`.
+///
+/// # Panics
+///
+/// Panics on an unregistered name; see [`WORKLOADS`].
+pub fn scenario(name: &str, n: usize, events: usize, seed: u64) -> Scenario {
+    let n = n.max(8);
+    let (initial, tb) = match name {
+        "star" => {
+            let g = fg_graph::generators::star(n);
+            let mut tb = TraceBuilder::from_graph(&g, seed);
+            // Star-smash rounds: kill the hub, then grow spokes onto a
+            // random survivor and kill it, forever.
+            tb.record_delete(NodeId::new(0));
+            while tb.events.len() < events {
+                let victim = tb.random_alive();
+                for _ in 0..4 {
+                    if tb.events.len() + 1 >= events {
+                        break;
+                    }
+                    tb.record_insert(vec![victim]);
+                }
+                tb.record_delete(victim);
+            }
+            (g, tb)
+        }
+        "er" => {
+            let g = fg_graph::generators::connected_erdos_renyi(n, 8.0 / n as f64, seed);
+            let mut tb = TraceBuilder::from_graph(&g, seed ^ 0x5bd1e995);
+            while tb.events.len() < events {
+                if tb.alive_count() > n / 2 {
+                    let v = tb.random_alive();
+                    tb.record_delete(v);
+                } else {
+                    let nbrs = tb.pick_neighbors(2, false);
+                    tb.record_insert(nbrs);
+                }
+            }
+            (g, tb)
+        }
+        "ba" => {
+            let g = fg_graph::generators::barabasi_albert(n, 2, seed);
+            let mut tb = TraceBuilder::from_graph(&g, seed ^ 0x9e3779b9);
+            let mut step = 0usize;
+            while tb.events.len() < events {
+                if step.is_multiple_of(2) && tb.alive_count() > n / 2 {
+                    let v = tb.max_degree_alive();
+                    tb.record_delete(v);
+                } else {
+                    let nbrs = tb.pick_neighbors(2, true);
+                    tb.record_insert(nbrs);
+                }
+                step += 1;
+            }
+            (g, tb)
+        }
+        "churn" => {
+            let g = fg_graph::generators::connected_erdos_renyi(n, 8.0 / n as f64, seed);
+            let mut tb = TraceBuilder::from_graph(&g, seed ^ 0xc2b2ae35);
+            let floor = (n / 2).max(8);
+            while tb.events.len() < events {
+                if tb.alive_count() > floor && tb.rng.gen_bool(0.5) {
+                    let v = tb.random_alive();
+                    tb.record_delete(v);
+                } else {
+                    let fan = tb.rng.gen_range(1..=3usize);
+                    let nbrs = tb.pick_neighbors(fan, false);
+                    tb.record_insert(nbrs);
+                }
+            }
+            (g, tb)
+        }
+        "hub-cascade" => {
+            let g = fg_graph::generators::barabasi_albert(n, 2, seed);
+            let mut tb = TraceBuilder::from_graph(&g, seed ^ 0x27d4eb2f);
+            while tb.events.len() < events {
+                if tb.alive_count() <= (n / 2).max(8) {
+                    let nbrs = tb.pick_neighbors(2, true);
+                    tb.record_insert(nbrs);
+                } else {
+                    let v = tb.max_degree_alive();
+                    tb.record_delete(v);
+                }
+            }
+            (g, tb)
+        }
+        "preferential-churn" => {
+            let g = fg_graph::generators::barabasi_albert(n, 2, seed);
+            let mut tb = TraceBuilder::from_graph(&g, seed ^ 0x165667b1);
+            let floor = (n / 2).max(8);
+            while tb.events.len() < events {
+                if tb.alive_count() > floor && tb.rng.gen_bool(0.5) {
+                    let v = tb.random_alive();
+                    tb.record_delete(v);
+                } else {
+                    let fan = tb.rng.gen_range(1..=3usize);
+                    let nbrs = tb.pick_neighbors(fan, true);
+                    tb.record_insert(nbrs);
+                }
+            }
+            (g, tb)
+        }
+        "partition-then-heal" => {
+            let g = partition_graph(n, seed);
+            let mut tb = TraceBuilder::from_graph(&g, seed ^ 0x85ebca6b);
+            // Phase 1: kill every bridge node (ids n..nodes_ever), the
+            // articulation points whose loss forces the largest repairs.
+            let bridges: Vec<NodeId> = ((n as u32)..(g.nodes_ever() as u32))
+                .map(NodeId::new)
+                .collect();
+            for b in bridges {
+                if tb.events.len() < events {
+                    tb.record_delete(b);
+                }
+            }
+            // Phase 2: churn over the healed (re-joined) network.
+            let floor = (n / 2).max(8);
+            while tb.events.len() < events {
+                if tb.alive_count() > floor && tb.rng.gen_bool(0.5) {
+                    let v = tb.random_alive();
+                    tb.record_delete(v);
+                } else {
+                    let fan = tb.rng.gen_range(2..=3usize);
+                    let nbrs = tb.pick_neighbors(fan, false);
+                    tb.record_insert(nbrs);
+                }
+            }
+            (g, tb)
+        }
+        other => panic!("unknown workload {other:?}; registered: {WORKLOADS:?}"),
+    };
+    let mut events_vec = tb.events;
+    events_vec.truncate(events);
+    Scenario {
+        name: name.to_string(),
+        n,
+        seed,
+        initial,
+        events: events_vec,
+    }
+}
+
+/// Two ER clusters of `n/2` nodes each, joined only through
+/// `max(2, n/32)` bridge nodes appended after them (one edge into each
+/// side) — the `partition-then-heal` starting topology.
+fn partition_graph(n: usize, seed: u64) -> Graph {
+    let half = (n / 2).max(4);
+    let a = fg_graph::generators::connected_erdos_renyi(half, 8.0 / half as f64, seed);
+    let b = fg_graph::generators::connected_erdos_renyi(half, 8.0 / half as f64, seed ^ 1);
+    let mut g = Graph::with_nodes(2 * half);
+    for e in a.edges() {
+        g.add_edge(e.lo(), e.hi()).expect("cluster A edge");
+    }
+    let off = half as u32;
+    for e in b.edges() {
+        g.add_edge(
+            NodeId::new(e.lo().raw() + off),
+            NodeId::new(e.hi().raw() + off),
+        )
+        .expect("cluster B edge");
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdeadbeef);
+    for _ in 0..(n / 32).max(2) {
+        let bridge = g.add_node();
+        let left = NodeId::new(rng.gen_range(0..off));
+        let right = NodeId::new(off + rng.gen_range(0..off));
+        g.add_edge(bridge, left).expect("bridge edge");
+        g.add_edge(bridge, right).expect("bridge edge");
+    }
+    g
+}
+
+/// Throughput/latency accounting for one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// `SelfHealer::name()` of the driven backend.
+    pub backend: String,
+    /// Events applied.
+    pub events: usize,
+    /// Deletions among them.
+    pub deletes: usize,
+    /// Events per ingestion batch.
+    pub batch_size: usize,
+    /// Total wall-clock seconds over all batches.
+    pub wall_seconds: f64,
+    /// `events / wall_seconds`.
+    pub events_per_sec: f64,
+    /// Mean per-batch latency in milliseconds.
+    pub mean_batch_ms: f64,
+    /// Worst per-batch latency in milliseconds.
+    pub max_batch_ms: f64,
+    /// Live nodes after the run.
+    pub final_nodes: usize,
+    /// Live edges after the run.
+    pub final_edges: usize,
+    /// The paper's `n` (nodes ever seen) after the run.
+    pub nodes_ever: usize,
+}
+
+impl RunResult {
+    /// The result as a JSON object for `BENCH_*.json` reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("scenario", Json::str(&self.scenario))
+            .field("backend", Json::str(&self.backend))
+            .field("events", Json::Int(self.events as i64))
+            .field("deletes", Json::Int(self.deletes as i64))
+            .field("batch_size", Json::Int(self.batch_size as i64))
+            .field("wall_seconds", Json::Float(self.wall_seconds))
+            .field("events_per_sec", Json::Float(self.events_per_sec))
+            .field("mean_batch_ms", Json::Float(self.mean_batch_ms))
+            .field("max_batch_ms", Json::Float(self.max_batch_ms))
+            .field("final_nodes", Json::Int(self.final_nodes as i64))
+            .field("final_edges", Json::Int(self.final_edges as i64))
+            .field("nodes_ever", Json::Int(self.nodes_ever as i64))
+    }
+}
+
+/// Drives scenarios through healers in timed batches.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRunner {
+    /// Events per ingestion batch (also the latency-measurement grain).
+    pub batch_size: usize,
+}
+
+impl ScenarioRunner {
+    /// A runner with the given batch size (clamped to ≥ 1).
+    pub fn new(batch_size: usize) -> Self {
+        ScenarioRunner {
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Replays `scenario` through `healer`, timing each ingestion batch.
+    /// Only event application is timed — trace generation happened when
+    /// the scenario was built.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`]; scenario traces are legal by
+    /// construction, so an error indicates a healer bug.
+    pub fn run(
+        &self,
+        scenario: &Scenario,
+        healer: &mut dyn SelfHealer,
+    ) -> Result<RunResult, EngineError> {
+        let mut wall = 0.0f64;
+        let mut max_batch_ms = 0.0f64;
+        let mut batches = 0usize;
+        for batch in scenario.events.chunks(self.batch_size) {
+            let start = Instant::now();
+            healer.apply_batch(batch)?;
+            let secs = start.elapsed().as_secs_f64();
+            wall += secs;
+            max_batch_ms = max_batch_ms.max(secs * 1e3);
+            batches += 1;
+        }
+        let events = scenario.events.len();
+        Ok(RunResult {
+            scenario: scenario.name.clone(),
+            backend: healer.name().to_string(),
+            events,
+            deletes: scenario.deletions(),
+            batch_size: self.batch_size,
+            wall_seconds: wall,
+            events_per_sec: if wall > 0.0 {
+                events as f64 / wall
+            } else {
+                0.0
+            },
+            mean_batch_ms: if batches > 0 {
+                wall * 1e3 / batches as f64
+            } else {
+                0.0
+            },
+            max_batch_ms,
+            final_nodes: healer.image().node_count(),
+            final_edges: healer.image().edge_count(),
+            nodes_ever: healer.ghost().nodes_ever(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::{ForgivingGraph, PlacementPolicy};
+    use fg_dist::Network;
+    use fg_graph::traversal;
+
+    #[test]
+    fn every_registered_workload_generates_and_runs() {
+        for &name in WORKLOADS {
+            let sc = scenario(name, 32, 120, 7);
+            assert_eq!(sc.events.len(), 120, "{name}");
+            let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+            let result = ScenarioRunner::new(16)
+                .run(&sc, &mut fg)
+                .unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            assert_eq!(result.events, 120, "{name}");
+            assert!(result.deletes > 0, "{name} must exercise repairs");
+            fg.check_invariants()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                traversal::is_connected(fg.image()),
+                "{name} left the image disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = scenario("churn", 48, 200, 11);
+        let b = scenario("churn", 48, 200, 11);
+        assert_eq!(a, b);
+        let c = scenario("churn", 48, 200, 12);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn engine_and_dist_agree_on_scenario_traces() {
+        let sc = scenario("partition-then-heal", 24, 60, 3);
+        let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+        let mut net = Network::from_graph(&sc.initial, PlacementPolicy::Adjacent);
+        ScenarioRunner::new(8)
+            .run(&sc, &mut fg)
+            .expect("engine run");
+        ScenarioRunner::new(8).run(&sc, &mut net).expect("dist run");
+        assert_eq!(net.image(), fg.image());
+        assert_eq!(net.ghost(), fg.ghost());
+    }
+
+    #[test]
+    fn trace_roundtrips_through_text() {
+        let sc = scenario("er", 24, 50, 5);
+        let text = sc.to_trace();
+        let back = Scenario::read_trace("er", &text);
+        assert_eq!(back.initial, sc.initial);
+        assert_eq!(back.events, sc.events);
+    }
+
+    #[test]
+    fn run_result_json_has_throughput_fields() {
+        let sc = scenario("star", 16, 30, 2);
+        let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+        let result = ScenarioRunner::new(10).run(&sc, &mut fg).expect("run");
+        let text = result.to_json().pretty();
+        assert!(text.contains("\"events_per_sec\""));
+        assert!(text.contains("\"scenario\": \"star\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = scenario("nope", 16, 10, 1);
+    }
+}

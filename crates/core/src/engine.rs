@@ -14,9 +14,8 @@ use crate::image::ImageGraph;
 use crate::plan::WireTree;
 use crate::slot::{Slot, VKey};
 use crate::stats::{EngineStats, RepairReport};
-use fg_graph::{Graph, NodeId};
+use fg_graph::{Graph, NodeId, SortedMap, SortedSet};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// How the merge picks the processor that simulates a fresh helper node.
 ///
@@ -227,7 +226,7 @@ impl ForgivingGraph {
         if neighbors.is_empty() {
             return Err(EngineError::EmptyNeighbourhood);
         }
-        let mut seen = BTreeSet::new();
+        let mut seen = SortedSet::new();
         for &x in neighbors {
             if !seen.insert(x) {
                 return Err(EngineError::DuplicateNeighbour(x));
@@ -278,8 +277,8 @@ impl ForgivingGraph {
         }
 
         // The victim's virtual nodes, and the trees they live in.
-        let removed: BTreeSet<VKey> = self.forest.keys_of_owner(v).into_iter().collect();
-        let mut affected_roots = BTreeSet::new();
+        let removed: SortedSet<VKey> = self.forest.keys_of_owner(v).into_iter().collect();
+        let mut affected_roots = SortedSet::new();
         for &k in &removed {
             affected_roots.insert(self.forest.root_of(k));
         }
@@ -288,7 +287,7 @@ impl ForgivingGraph {
         // The anchors of BT_v (Algorithm A.3's Nset): every surviving
         // virtual node adjacent to one of the victim's nodes. Collected
         // before any detaching.
-        let mut anchors: BTreeSet<VKey> = BTreeSet::new();
+        let mut anchors: SortedSet<VKey> = SortedSet::new();
         for &k in &removed {
             let node = self.forest.node(k);
             for adj in node
@@ -304,7 +303,7 @@ impl ForgivingGraph {
         }
 
         // Ancestors of removed nodes can no longer head complete subtrees.
-        let mut tainted = BTreeSet::new();
+        let mut tainted = SortedSet::new();
         for &k in &removed {
             let mut cur = k;
             while let Some(p) = self.forest.node(cur).parent {
@@ -319,7 +318,7 @@ impl ForgivingGraph {
         // subtrees, freeing red nodes and the victim's nodes. Track which
         // fragment each anchor landed in.
         let mut fragments: Vec<Vec<WireTree>> = Vec::new();
-        let mut anchor_frag: BTreeMap<VKey, usize> = BTreeMap::new();
+        let mut anchor_frag: SortedMap<VKey, usize> = SortedMap::new();
         for root in affected_roots {
             fragments.push(Vec::new());
             let frag = fragments.len() - 1;
@@ -349,9 +348,9 @@ impl ForgivingGraph {
         // anchors hold empty buckets but still occupy BT_v positions
         // (the paper's BT_v spans all of Nset).
         let anchor_list: Vec<VKey> = anchors.iter().copied().collect();
-        let mut rep_of_frag: BTreeMap<usize, VKey> = BTreeMap::new();
-        for (&anchor, &frag) in &anchor_frag {
-            rep_of_frag.entry(frag).or_insert(anchor);
+        let mut rep_of_frag: SortedMap<usize, VKey> = SortedMap::new();
+        for (&anchor, &frag) in anchor_frag.iter() {
+            rep_of_frag.get_or_insert_with(frag, || anchor);
         }
         let mut buckets: Vec<Vec<WireTree>> = vec![Vec::new(); anchor_list.len()];
         let report_fragments = fragments.iter().filter(|f| !f.is_empty()).count();
@@ -411,11 +410,11 @@ impl ForgivingGraph {
         &mut self,
         key: VKey,
         frag: usize,
-        removed: &BTreeSet<VKey>,
-        tainted: &BTreeSet<VKey>,
-        anchors: &BTreeSet<VKey>,
+        removed: &SortedSet<VKey>,
+        tainted: &SortedSet<VKey>,
+        anchors: &SortedSet<VKey>,
         fragments: &mut Vec<Vec<WireTree>>,
-        anchor_frag: &mut BTreeMap<VKey, usize>,
+        anchor_frag: &mut SortedMap<VKey, usize>,
     ) {
         if removed.contains(&key) {
             // The victim's node: children fall into separate fragments.
@@ -484,7 +483,7 @@ impl ForgivingGraph {
         self.image.validate()?;
 
         // Slot legality.
-        for (&key, _) in self.forest.iter() {
+        for (key, _) in self.forest.iter() {
             let Slot { owner, other } = key.slot;
             if !self.is_alive(owner) {
                 return Err(format!("{key}: owner is dead"));
@@ -498,7 +497,7 @@ impl ForgivingGraph {
         }
 
         // Helper placement: a helper's own leaf is a strict descendant.
-        for (&key, _) in self.forest.iter() {
+        for (key, _) in self.forest.iter() {
             if key.is_helper() {
                 let leaf = key.slot.real();
                 let mut cur = leaf;
@@ -538,7 +537,7 @@ impl ForgivingGraph {
                 expected.inc(e.lo(), e.hi());
             }
         }
-        for (&key, node) in self.forest.iter() {
+        for (key, node) in self.forest.iter() {
             for child in node.left.iter().chain(node.right.iter()) {
                 expected.inc(key.owner(), child.owner());
             }

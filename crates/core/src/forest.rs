@@ -7,6 +7,20 @@
 //! forest (plus the intact original edges), computed by
 //! [`crate::image::ImageGraph`].
 //!
+//! ## Storage
+//!
+//! Virtual nodes live in a flat **arena** (`Vec<Option<VNode>>`): a node is
+//! created by appending a slot and removed by tombstoning it (`None`).
+//! Slots are never compacted and never reused, so a living node's arena
+//! index is stable for its whole lifetime — mirroring the workspace-wide
+//! rule that [`fg_graph::NodeId`]s are never reused. Keys resolve to slots
+//! through a per-owner sorted index (owners are dense ids), so a lookup is
+//! one `Vec` access plus a binary search over that owner's handful of
+//! virtual nodes, and iterating owners in order and each bucket in
+//! [`crate::slot::LocalKey`] order visits keys in exactly the global
+//! [`VKey`] order — the same order the `BTreeMap` it replaced produced,
+//! which keeps every replay bit-identical (DESIGN.md §7).
+//!
 //! Structure invariants maintained here (checked by [`Forest::validate`]):
 //!
 //! * parent/child links are mutually consistent and acyclic;
@@ -19,9 +33,9 @@
 //! * every tree with `l` leaves has exactly `l − 1` helpers, hence exactly
 //!   one *free* leaf (a leaf whose slot simulates no helper).
 
-use crate::slot::{Slot, VKey};
+use crate::slot::{LocalKey, Slot, VKey};
+use fg_graph::SortedMap;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// A virtual node: a leaf (real endpoint) or a helper, with the Table 1
 /// fields that drive the repair algorithm.
@@ -60,14 +74,30 @@ impl VNode {
     }
 }
 
-/// The forest of all living virtual nodes, keyed by [`VKey`].
+/// The forest of all living virtual nodes, keyed by [`VKey`] and stored in
+/// a tombstoned arena (see the module docs).
 ///
 /// Mutation goes through narrow primitives so that the engine can mirror
 /// every structural edge change into the image graph.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Forest {
-    nodes: BTreeMap<VKey, VNode>,
+    /// Slot storage; `None` is a tombstone. Never compacted, never reused.
+    arena: Vec<Option<VNode>>,
+    /// Per-owner sorted key → arena-slot index.
+    index: Vec<SortedMap<LocalKey, u32>>,
+    /// Number of living nodes (non-tombstone slots).
+    live: usize,
 }
+
+/// Forests are equal when they hold the same living `(key, node)` pairs;
+/// arena tombstone layout (an artifact of allocation history) is ignored.
+impl PartialEq for Forest {
+    fn eq(&self, other: &Self) -> bool {
+        self.live == other.live && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Forest {}
 
 impl Forest {
     /// An empty forest.
@@ -77,58 +107,107 @@ impl Forest {
 
     /// Number of virtual nodes (leaves + helpers).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.live
     }
 
     /// Whether the forest is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.live == 0
+    }
+
+    /// Total arena slots ever allocated, including tombstones — grows
+    /// monotonically; property tests assert slots are never compacted.
+    pub fn slots_ever(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The arena slot currently backing `key`, if it is alive. Stable for
+    /// the whole lifetime of the node (slots never move).
+    pub fn slot_of(&self, key: VKey) -> Option<u32> {
+        self.index
+            .get(key.owner().index())
+            .and_then(|bucket| bucket.get(&key.local()))
+            .copied()
     }
 
     /// Whether `key` names a living virtual node.
     pub fn contains(&self, key: VKey) -> bool {
-        self.nodes.contains_key(&key)
+        self.slot_of(key).is_some()
     }
 
     /// Borrows a node.
     pub fn get(&self, key: VKey) -> Option<&VNode> {
-        self.nodes.get(&key)
+        self.slot_of(key)
+            .and_then(|slot| self.arena[slot as usize].as_ref())
     }
 
     /// Node lookup that panics with context on a dangling key — internal
     /// invariants guarantee presence.
     pub(crate) fn node(&self, key: VKey) -> &VNode {
-        self.nodes
-            .get(&key)
+        self.get(key)
             .unwrap_or_else(|| panic!("dangling virtual node {key}"))
     }
 
     fn node_mut(&mut self, key: VKey) -> &mut VNode {
-        self.nodes
-            .get_mut(&key)
-            .unwrap_or_else(|| panic!("dangling virtual node {key}"))
+        match self.slot_of(key) {
+            Some(slot) => self.arena[slot as usize]
+                .as_mut()
+                .unwrap_or_else(|| panic!("tombstoned virtual node {key}")),
+            None => panic!("dangling virtual node {key}"),
+        }
     }
 
     /// Iterates over `(key, node)` pairs in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (&VKey, &VNode)> {
-        self.nodes.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (VKey, &VNode)> {
+        self.index.iter().enumerate().flat_map(move |(i, bucket)| {
+            let owner = fg_graph::NodeId::new(i as u32);
+            bucket.iter().map(move |(&local, &slot)| {
+                let node = self.arena[slot as usize]
+                    .as_ref()
+                    .expect("index entries point at living slots");
+                (VKey::from_local(owner, local), node)
+            })
+        })
     }
 
     /// All virtual nodes owned by one processor, in key order.
     pub fn keys_of_owner(&self, owner: fg_graph::NodeId) -> Vec<VKey> {
-        use std::ops::Bound;
-        let lo = Bound::Included(VKey {
-            slot: Slot {
-                owner,
-                other: fg_graph::NodeId::new(0),
-            },
-            kind: crate::slot::VKind::Real,
-        });
-        self.nodes
-            .range((lo, Bound::Unbounded))
-            .take_while(|(k, _)| k.slot.owner == owner)
-            .map(|(k, _)| *k)
-            .collect()
+        self.index
+            .get(owner.index())
+            .map(|bucket| {
+                bucket
+                    .keys()
+                    .map(|&local| VKey::from_local(owner, local))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Appends a fresh arena slot for `key`'s node and indexes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already alive.
+    fn alloc(&mut self, key: VKey, node: VNode) {
+        let owner = key.owner().index();
+        if self.index.len() <= owner {
+            self.index.resize_with(owner + 1, SortedMap::new);
+        }
+        let slot = self.arena.len() as u32;
+        let prev = self.index[owner].insert(key.local(), slot);
+        assert!(prev.is_none(), "{key} already exists");
+        self.arena.push(Some(node));
+        self.live += 1;
+    }
+
+    /// Tombstones `key`'s arena slot and unindexes it.
+    fn free(&mut self, key: VKey) {
+        let slot = self
+            .slot_of(key)
+            .unwrap_or_else(|| panic!("freeing dangling virtual node {key}"));
+        self.index[key.owner().index()].remove(&key.local());
+        self.arena[slot as usize] = None;
+        self.live -= 1;
     }
 
     /// Creates an isolated leaf for `slot`.
@@ -138,8 +217,7 @@ impl Forest {
     /// Panics if the leaf already exists.
     pub(crate) fn create_leaf(&mut self, slot: Slot) -> VKey {
         let key = slot.real();
-        let prev = self.nodes.insert(key, VNode::new_leaf(slot));
-        assert!(prev.is_none(), "leaf {key} already exists");
+        self.alloc(key, VNode::new_leaf(slot));
         key
     }
 
@@ -154,7 +232,7 @@ impl Forest {
     pub(crate) fn create_helper(&mut self, slot: Slot, left: VKey, right: VKey, rep: Slot) -> VKey {
         let key = slot.helper();
         assert!(
-            !self.nodes.contains_key(&key),
+            !self.contains(key),
             "helper {key} already exists (Lemma 3.1 violation)"
         );
         let (ln, rn) = (self.node(left), self.node(right));
@@ -170,7 +248,7 @@ impl Forest {
             height: 1 + ln.height.max(rn.height),
             rep,
         };
-        self.nodes.insert(key, node);
+        self.alloc(key, node);
         self.node_mut(left).parent = Some(key);
         self.node_mut(right).parent = Some(key);
         key
@@ -193,7 +271,7 @@ impl Forest {
         self.node_mut(child).parent = None;
     }
 
-    /// Removes an isolated node from the forest.
+    /// Removes an isolated node from the forest (tombstoning its slot).
     ///
     /// # Panics
     ///
@@ -204,7 +282,7 @@ impl Forest {
             n.parent.is_none() && n.left.is_none() && n.right.is_none(),
             "{key} is still linked"
         );
-        self.nodes.remove(&key);
+        self.free(key);
     }
 
     /// The root of the tree containing `key`.
@@ -218,10 +296,9 @@ impl Forest {
 
     /// All tree roots, in key order.
     pub fn roots(&self) -> Vec<VKey> {
-        self.nodes
-            .iter()
+        self.iter()
             .filter(|(_, n)| n.parent.is_none())
-            .map(|(k, _)| *k)
+            .map(|(k, _)| k)
             .collect()
     }
 
@@ -316,12 +393,32 @@ impl Forest {
     ///
     /// Returns a human-readable violation message.
     pub fn validate(&self) -> Result<(), String> {
-        for (&key, node) in &self.nodes {
+        // Arena/index consistency: the index covers exactly the living
+        // slots, each exactly once.
+        let mut seen = vec![false; self.arena.len()];
+        let mut indexed = 0usize;
+        for (key, _) in self.iter() {
+            let slot = self.slot_of(key).expect("iterated keys are indexed") as usize;
+            if seen[slot] {
+                return Err(format!("arena slot {slot} indexed twice"));
+            }
+            seen[slot] = true;
+            indexed += 1;
+        }
+        if indexed != self.live {
+            return Err(format!("live count {} but {indexed} indexed", self.live));
+        }
+        for (slot, entry) in self.arena.iter().enumerate() {
+            if entry.is_some() && !seen[slot] {
+                return Err(format!("living arena slot {slot} unreachable from index"));
+            }
+        }
+
+        for (key, node) in self.iter() {
             // Link consistency.
             if let Some(p) = node.parent {
                 let pn = self
-                    .nodes
-                    .get(&p)
+                    .get(p)
                     .ok_or_else(|| format!("{key}: dangling parent {p}"))?;
                 if pn.left != Some(key) && pn.right != Some(key) {
                     return Err(format!("{key}: parent {p} does not link back"));
@@ -341,12 +438,10 @@ impl Forest {
                         return Err(format!("{key}: leaf with children"));
                     }
                     let ln = self
-                        .nodes
-                        .get(&l)
+                        .get(l)
                         .ok_or_else(|| format!("{key}: dangling left {l}"))?;
                     let rn = self
-                        .nodes
-                        .get(&r)
+                        .get(r)
                         .ok_or_else(|| format!("{key}: dangling right {r}"))?;
                     if ln.parent != Some(key) || rn.parent != Some(key) {
                         return Err(format!("{key}: child does not link back"));
@@ -527,5 +622,45 @@ mod tests {
         f.validate().unwrap();
         assert_eq!(f.root_of(l), l);
         assert_eq!(f.free_leaf_of(l).0, s(1, 0));
+    }
+
+    #[test]
+    fn arena_slots_tombstone_and_never_move() {
+        let (mut f, root) = sample_tree();
+        let slots_before = f.slots_ever();
+        let l1_slot = f.slot_of(s(1, 0).real()).unwrap();
+        // Tear the tree apart and free the root helper.
+        let h1 = s(1, 0).helper();
+        let h3 = s(3, 0).helper();
+        f.detach_child(root, h1);
+        f.detach_child(root, h3);
+        f.remove_isolated(root);
+        // Freeing tombstones: total slots unchanged, survivor slots stable.
+        assert_eq!(f.slots_ever(), slots_before);
+        assert_eq!(f.slot_of(s(1, 0).real()), Some(l1_slot));
+        assert_eq!(f.slot_of(root), None);
+        assert_eq!(f.len(), 6);
+        // Re-creating the same key gets a *fresh* slot (no reuse).
+        let l2 = s(2, 0).real();
+        let l4 = s(4, 0).real();
+        f.detach_child(h1, l2);
+        f.detach_child(h3, l4);
+        let root2 = f.create_helper(s(2, 0), h1, h3, s(4, 0));
+        assert_eq!(root2, root);
+        assert_eq!(f.slots_ever(), slots_before + 1);
+        assert_eq!(f.slot_of(root2), Some(slots_before as u32));
+    }
+
+    #[test]
+    fn equality_ignores_tombstone_history() {
+        // Same living content, different allocation histories.
+        let mut a = Forest::new();
+        a.create_leaf(s(1, 0));
+        let mut b = Forest::new();
+        b.create_leaf(s(2, 0));
+        b.create_leaf(s(1, 0));
+        b.remove_isolated(s(2, 0).real());
+        assert_eq!(a, b);
+        assert_ne!(a.slots_ever(), b.slots_ever());
     }
 }

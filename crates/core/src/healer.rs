@@ -61,6 +61,23 @@ pub trait SelfHealer {
             NetworkEvent::Delete { node } => self.delete(*node),
         }
     }
+
+    /// Ingests a batch of adversarial events, stopping at the first error.
+    ///
+    /// The default implementation applies events one by one; healers with
+    /// cheaper bulk paths (deferred index rebuilds, amortised allocation)
+    /// may override it. The `fg-bench` ScenarioRunner feeds workloads
+    /// through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first event's error; earlier events stay applied.
+    fn apply_batch(&mut self, events: &[NetworkEvent]) -> Result<(), EngineError> {
+        for event in events {
+            self.apply_event(event)?;
+        }
+        Ok(())
+    }
 }
 
 impl SelfHealer for crate::ForgivingGraph {

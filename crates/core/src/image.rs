@@ -10,16 +10,23 @@
 //! (plus one count for a surviving original edge) and mirrors the
 //! *support* of that multiset into a simple [`Graph`], which is what the
 //! degree and stretch metrics read.
+//!
+//! Counts are stored per node as sorted `(neighbour, count)` lists — the
+//! same dense arena layout as the graph's adjacency — so bumping a
+//! multiplicity during a repair touches the two endpoints' contiguous
+//! lists instead of rebalancing a global `BTreeMap<EdgeKey, u32>`.
 
-use fg_graph::{EdgeKey, Graph, NodeId};
+use fg_graph::{Graph, NodeId, SortedMap};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Reference-counted multigraph over processors with a simple-graph view.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ImageGraph {
     simple: Graph,
-    counts: BTreeMap<EdgeKey, u32>,
+    /// `counts[u]` maps each neighbour `v` to the multiplicity of `(u, v)`;
+    /// kept symmetric (`counts[v]` holds the same number for `u`) so either
+    /// endpoint resolves a multiplicity with one local binary search.
+    counts: Vec<SortedMap<NodeId, u32>>,
     self_loops: u32,
 }
 
@@ -32,6 +39,7 @@ impl ImageGraph {
     /// Registers a new processor; must be called in lockstep with the
     /// ghost graph so ids align.
     pub fn add_node(&mut self) -> NodeId {
+        self.counts.push(SortedMap::new());
         self.simple.add_node()
     }
 
@@ -47,15 +55,16 @@ impl ImageGraph {
         if u == v {
             return 0;
         }
-        self.counts.get(&EdgeKey::new(u, v)).copied().unwrap_or(0)
+        self.counts
+            .get(u.index())
+            .and_then(|m| m.get(&v))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Multigraph degree of `v` (counts every virtual edge separately).
     pub fn multi_degree(&self, v: NodeId) -> u32 {
-        self.simple
-            .neighbors(v)
-            .map(|u| self.multiplicity(v, u))
-            .sum()
+        self.counts.get(v.index()).map_or(0, |m| m.values().sum())
     }
 
     /// Number of virtual edges whose endpoints collapsed onto a single
@@ -71,10 +80,11 @@ impl ImageGraph {
             self.self_loops += 1;
             return;
         }
-        let key = EdgeKey::new(u, v);
-        let count = self.counts.entry(key).or_insert(0);
-        *count += 1;
-        if *count == 1 {
+        let cell = self.counts[u.index()].get_or_insert_with(v, || 0);
+        *cell += 1;
+        let count = *cell;
+        *self.counts[v.index()].get_or_insert_with(u, || 0) = count;
+        if count == 1 {
             self.simple
                 .add_edge(u, v)
                 .expect("image simple graph out of sync on inc");
@@ -93,17 +103,21 @@ impl ImageGraph {
             self.self_loops -= 1;
             return;
         }
-        let key = EdgeKey::new(u, v);
-        let count = self
-            .counts
-            .get_mut(&key)
-            .unwrap_or_else(|| panic!("releasing absent image edge {key}"));
+        let count = self.counts[u.index()]
+            .get_mut(&v)
+            .unwrap_or_else(|| panic!("releasing absent image edge ({u}-{v})"));
         *count -= 1;
-        if *count == 0 {
-            self.counts.remove(&key);
+        let count = *count;
+        if count == 0 {
+            self.counts[u.index()].remove(&v);
+            self.counts[v.index()].remove(&u);
             self.simple
                 .remove_edge(u, v)
                 .expect("image simple graph out of sync on dec");
+        } else {
+            *self.counts[v.index()]
+                .get_mut(&u)
+                .expect("symmetric count present") = count;
         }
     }
 
@@ -119,28 +133,38 @@ impl ImageGraph {
             0,
             "processor {v} still has incident image edges"
         );
+        debug_assert!(self.counts[v.index()].is_empty());
         self.simple
             .remove_node(v)
             .expect("removing unknown image node");
     }
 
     /// Consistency check: the simple view must be exactly the support of
-    /// the count map.
+    /// the count map, and the counts symmetric.
     ///
     /// # Errors
     ///
     /// Returns a description of the first mismatch.
     pub fn validate(&self) -> Result<(), String> {
-        for (key, &count) in &self.counts {
-            if count == 0 {
-                return Err(format!("zero-count entry for {key}"));
-            }
-            if !self.simple.has_edge(key.lo(), key.hi()) {
-                return Err(format!("count without simple edge for {key}"));
+        if self.counts.len() != self.simple.nodes_ever() {
+            return Err("count table misaligned with simple graph".into());
+        }
+        for (i, m) in self.counts.iter().enumerate() {
+            let u = NodeId::new(i as u32);
+            for (&v, &count) in m.iter() {
+                if count == 0 {
+                    return Err(format!("zero-count entry for ({u}-{v})"));
+                }
+                if self.multiplicity(v, u) != count {
+                    return Err(format!("asymmetric count for ({u}-{v})"));
+                }
+                if !self.simple.has_edge(u, v) {
+                    return Err(format!("count without simple edge for ({u}-{v})"));
+                }
             }
         }
         for e in self.simple.edges() {
-            if !self.counts.contains_key(&e) {
+            if self.multiplicity(e.lo(), e.hi()) == 0 {
                 return Err(format!("simple edge without count for {e}"));
             }
         }
@@ -160,6 +184,7 @@ mod tests {
         img.inc(a, b);
         img.inc(b, a);
         assert_eq!(img.multiplicity(a, b), 2);
+        assert_eq!(img.multiplicity(b, a), 2);
         assert_eq!(img.simple().degree(a), 1);
         assert_eq!(img.multi_degree(a), 2);
         img.dec(a, b);

@@ -92,10 +92,32 @@ pub struct VKey {
     pub kind: VKind,
 }
 
+/// The per-owner remainder of a [`VKey`]: `(other, kind)`.
+///
+/// The arena-backed containers in this workspace bucket virtual nodes by
+/// owner (owners are dense ids) and sort each bucket by this local key;
+/// because the full key order is `(owner, other, kind)`, iterating buckets
+/// in owner order and each bucket in local order visits keys in exactly
+/// the global `VKey` order.
+pub type LocalKey = (NodeId, VKind);
+
 impl VKey {
     /// The processor that hosts (simulates) this virtual node.
     pub fn owner(self) -> NodeId {
         self.slot.owner
+    }
+
+    /// The per-owner part of the key (see [`LocalKey`]).
+    pub fn local(self) -> LocalKey {
+        (self.slot.other, self.kind)
+    }
+
+    /// Reassembles a key from an owner and its local part.
+    pub fn from_local(owner: NodeId, (other, kind): LocalKey) -> Self {
+        VKey {
+            slot: Slot::new(owner, other),
+            kind,
+        }
     }
 
     /// Whether this is a leaf (real) node.
@@ -155,6 +177,17 @@ mod tests {
         let a = Slot::new(n(1), n(9)).helper();
         let b = Slot::new(n(2), n(0)).real();
         assert!(a < b);
+    }
+
+    #[test]
+    fn local_key_roundtrip_preserves_order() {
+        let a = Slot::new(n(1), n(4)).real();
+        let b = Slot::new(n(1), n(4)).helper();
+        let c = Slot::new(n(1), n(9)).real();
+        assert!(a.local() < b.local() && b.local() < c.local());
+        for key in [a, b, c] {
+            assert_eq!(VKey::from_local(key.owner(), key.local()), key);
+        }
     }
 
     #[test]

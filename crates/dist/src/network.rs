@@ -2,11 +2,9 @@
 //! round-based scheduler, plus the globally materialized views
 //! (`G'`, the image, liveness) that measurements read.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use fg_core::plan::WireTree;
 use fg_core::{EngineError, ImageGraph, PlacementPolicy, SelfHealer, Slot, VKey};
-use fg_graph::{Graph, NodeId};
+use fg_graph::{Graph, NodeId, SortedMap, SortedSet};
 
 use crate::cost::{ceil_log2, RepairCost};
 use crate::message::Message;
@@ -138,7 +136,7 @@ impl Network {
     )> {
         let mut out = Vec::new();
         for p in &self.procs {
-            for (key, n) in &p.vnodes {
+            for (key, n) in p.vnodes.iter() {
                 out.push((*key, n.parent, n.left, n.right, n.leaves, n.height, n.rep));
             }
         }
@@ -159,7 +157,7 @@ impl Network {
         if neighbors.is_empty() {
             return Err(EngineError::EmptyNeighbourhood);
         }
-        let mut seen = BTreeSet::new();
+        let mut seen = SortedSet::new();
         for &x in neighbors {
             if !seen.insert(x) {
                 return Err(EngineError::DuplicateNeighbour(x));
@@ -215,12 +213,12 @@ impl Network {
         // table, replicated to image neighbours while it was alive) lets
         // every affected processor act locally and identically.
         // ------------------------------------------------------------
-        let alive_nbrs: BTreeSet<NodeId> = self
+        let alive_nbrs: SortedSet<NodeId> = self
             .ghost
             .neighbors(v)
             .filter(|&x| self.is_alive(x))
             .collect();
-        let removed: BTreeMap<VKey, VLinks> = self.procs[v.index()]
+        let removed: SortedMap<VKey, VLinks> = self.procs[v.index()]
             .vnodes
             .iter()
             .map(|(k, n)| {
@@ -234,7 +232,7 @@ impl Network {
                 )
             })
             .collect();
-        let mut anchor_set = BTreeSet::new();
+        let mut anchor_set = SortedSet::new();
         for links in removed.values() {
             for adj in links
                 .parent
@@ -449,7 +447,7 @@ mod tests {
             .iter()
             .map(|(k, vn)| {
                 (
-                    *k, vn.parent, vn.left, vn.right, vn.leaves, vn.height, vn.rep,
+                    k, vn.parent, vn.left, vn.right, vn.leaves, vn.height, vn.rep,
                 )
             })
             .collect();

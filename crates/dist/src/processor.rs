@@ -7,11 +7,9 @@
 //! repair's [`Shared`] context (the victim's will — data the victim
 //! replicated to its image neighbours while alive).
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use fg_core::plan::{plan_compute_haft, WireTree};
 use fg_core::{ImageGraph, PlacementPolicy, Slot, VKey};
-use fg_graph::NodeId;
+use fg_graph::{NodeId, SortedMap, SortedSet};
 
 use crate::message::{Message, Payload, Target};
 
@@ -59,13 +57,13 @@ pub(crate) struct VLinks {
 pub(crate) struct Shared {
     pub victim: NodeId,
     /// The victim's live `G'` neighbours (original image edges released).
-    pub alive_nbrs: BTreeSet<NodeId>,
+    pub alive_nbrs: SortedSet<NodeId>,
     /// The victim's virtual nodes and their links.
-    pub removed: BTreeMap<VKey, VLinks>,
+    pub removed: SortedMap<VKey, VLinks>,
     /// The sorted `BT_v` positions: surviving virtual neighbours of the
     /// victim's nodes plus the fresh leaves.
     pub anchors: Vec<VKey>,
-    pub anchor_set: BTreeSet<VKey>,
+    pub anchor_set: SortedSet<VKey>,
     pub policy: PlacementPolicy,
 }
 
@@ -88,7 +86,7 @@ pub(crate) struct Ctx<'a> {
 #[derive(Debug, Default)]
 pub(crate) struct SeedState {
     pub trees: Vec<WireTree>,
-    pub anchors: BTreeSet<VKey>,
+    pub anchors: SortedSet<VKey>,
 }
 
 /// One `BT_v` position's merge state, held by the anchor's owner.
@@ -106,11 +104,11 @@ pub(crate) struct AnchorDuty {
 #[derive(Debug, Default)]
 pub(crate) struct Processor {
     pub id: NodeId,
-    pub vnodes: BTreeMap<VKey, VState>,
+    pub vnodes: SortedMap<VKey, VState>,
     // --- per-repair scratch ---
-    tainted: BTreeSet<VKey>,
-    pub seeds: BTreeMap<VKey, SeedState>,
-    pub duties: BTreeMap<VKey, AnchorDuty>,
+    tainted: SortedSet<VKey>,
+    pub seeds: SortedMap<VKey, SeedState>,
+    pub duties: SortedMap<VKey, AnchorDuty>,
 }
 
 impl Processor {
@@ -164,7 +162,8 @@ impl Processor {
             let slot = Slot::new(self.id, shared.victim);
             let prev = self.vnodes.insert(slot.real(), VState::leaf(slot));
             assert!(prev.is_none(), "fresh leaf {} already exists", slot.real());
-            self.seeds.entry(slot.real()).or_default();
+            self.seeds
+                .get_or_insert_with(slot.real(), SeedState::default);
         }
 
         // Detach from the victim's virtual nodes.
@@ -194,12 +193,12 @@ impl Processor {
             }
             if parent_removed {
                 // A child of a removed node heads its own fragment.
-                self.seeds.entry(key).or_default();
+                self.seeds.get_or_insert_with(key, SeedState::default);
             } else if removed_children > 0 {
                 match links.parent {
                     // A tainted root heads the affected tree's fragment.
                     None => {
-                        self.seeds.entry(key).or_default();
+                        self.seeds.get_or_insert_with(key, SeedState::default);
                     }
                     Some(pp) => self.send(ctx, pp.owner(), Payload::TaintUp { key: pp }),
                 }
@@ -356,7 +355,7 @@ impl Processor {
                 }
                 match self.vnode(key).parent {
                     None => {
-                        self.seeds.entry(key).or_default();
+                        self.seeds.get_or_insert_with(key, SeedState::default);
                     }
                     Some(pp) => self.send(ctx, pp.owner(), Payload::TaintUp { key: pp }),
                 }

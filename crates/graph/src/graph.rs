@@ -1,4 +1,5 @@
-//! A simple undirected graph with stable node ids and O(log d) edge updates.
+//! A simple undirected graph with stable node ids and cache-friendly,
+//! sorted adjacency lists.
 //!
 //! This is the substrate shared by every layer of the workspace: the
 //! insert-only ghost graph `G'`, the healed image graph `G`, the baselines
@@ -8,15 +9,16 @@
 //! ids stay valid for the lifetime of the experiment, matching the paper's
 //! model where `n` counts every node ever seen.
 
+use crate::sorted::SortedSet;
 use crate::{EdgeKey, GraphError, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// An undirected simple graph over dense [`NodeId`]s with tombstoned removal.
 ///
-/// Adjacency sets are ordered (`BTreeSet`) so that every iteration order in
-/// the workspace is deterministic; the repair protocol depends on this for
-/// reproducibility.
+/// Adjacency lists are sorted vectors ([`SortedSet`]) — one contiguous
+/// allocation per node, iterated in ascending id order — so that every
+/// iteration order in the workspace is deterministic; the repair protocol
+/// depends on this for reproducibility.
 ///
 /// # Examples
 ///
@@ -38,7 +40,7 @@ use std::collections::BTreeSet;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
-    adjacency: Vec<BTreeSet<NodeId>>,
+    adjacency: Vec<SortedSet<NodeId>>,
     alive: Vec<bool>,
     live_nodes: usize,
     live_edges: usize,
@@ -63,7 +65,7 @@ impl Graph {
     /// Creates a graph with `n` live nodes (ids `0..n`) and no edges.
     pub fn with_nodes(n: usize) -> Self {
         Graph {
-            adjacency: vec![BTreeSet::new(); n],
+            adjacency: vec![SortedSet::new(); n],
             alive: vec![true; n],
             live_nodes: n,
             live_edges: 0,
@@ -93,7 +95,7 @@ impl Graph {
     /// Adds a fresh node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::new(self.adjacency.len() as u32);
-        self.adjacency.push(BTreeSet::new());
+        self.adjacency.push(SortedSet::new());
         self.alive.push(true);
         self.live_nodes += 1;
         id
@@ -130,7 +132,7 @@ impl Graph {
 
     /// Degree of `v` (0 for removed/unknown nodes).
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency.get(v.index()).map_or(0, BTreeSet::len)
+        self.adjacency.get(v.index()).map_or(0, SortedSet::len)
     }
 
     /// Maximum degree over live nodes (0 for an empty graph).

@@ -30,6 +30,7 @@ mod error;
 pub mod generators;
 mod graph;
 mod id;
+mod sorted;
 pub mod traversal;
 mod unionfind;
 
@@ -37,4 +38,5 @@ pub use dot::dot_string;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use id::{EdgeKey, NodeId};
+pub use sorted::{SortedMap, SortedSet};
 pub use unionfind::UnionFind;

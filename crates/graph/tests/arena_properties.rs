@@ -1,0 +1,187 @@
+//! Property tests for the arena-layout invariants of `fg-graph`:
+//! tombstoned ids are never reused, sorted adjacency stays canonical, and
+//! the union–find behaves like a reference model.
+
+use fg_graph::{Graph, NodeId, SortedMap, SortedSet, UnionFind};
+use proptest::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Applies a random op tape to a graph, mirroring it into a naive model
+/// (edge list + alive list), and returns both.
+fn build_graph(ops: &[u8]) -> (Graph, Vec<bool>, Vec<(u32, u32)>) {
+    let mut g = Graph::with_nodes(4);
+    let mut alive = vec![true; 4];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for chunk in ops.chunks_exact(3) {
+        let (op, a, b) = (chunk[0] % 4, chunk[1], chunk[2]);
+        let total = alive.len() as u32;
+        let (u, v) = ((a as u32) % total, (b as u32) % total);
+        match op {
+            0 => {
+                g.add_node();
+                alive.push(true);
+            }
+            1 => {
+                if u != v && alive[u as usize] && alive[v as usize] {
+                    let added = g.ensure_edge(n(u), n(v)).expect("live endpoints");
+                    let key = (u.min(v), u.max(v));
+                    if added {
+                        edges.push(key);
+                    }
+                }
+            }
+            2 => {
+                if alive[u as usize] {
+                    g.remove_node(n(u)).expect("alive node");
+                    alive[u as usize] = false;
+                    edges.retain(|&(x, y)| x != u && y != u);
+                }
+            }
+            _ => {
+                if let Some(pos) = edges
+                    .iter()
+                    .position(|&(x, y)| (x, y) == (u.min(v), u.max(v)))
+                {
+                    g.remove_edge(n(u), n(v)).expect("edge tracked by model");
+                    edges.swap_remove(pos);
+                }
+            }
+        }
+    }
+    (g, alive, edges)
+}
+
+proptest! {
+    /// Ids are never reused: every fresh node id equals the number of ids
+    /// ever created, regardless of interleaved removals.
+    #[test]
+    fn node_ids_never_reused(ops in prop::collection::vec(any::<u8>(), 0..240)) {
+        let (mut g, alive, _) = build_graph(&ops);
+        let ever = g.nodes_ever();
+        prop_assert_eq!(ever, alive.len());
+        // Tombstones stay dead and a fresh id continues the sequence.
+        let fresh = g.add_node();
+        prop_assert_eq!(fresh, n(ever as u32));
+        for (i, &a) in alive.iter().enumerate() {
+            prop_assert_eq!(g.contains(n(i as u32)), a);
+            if !a {
+                prop_assert_eq!(g.degree(n(i as u32)), 0);
+                prop_assert!(g.remove_node(n(i as u32)).is_err(), "double remove must fail");
+            }
+        }
+    }
+
+    /// The graph agrees with the naive edge-list model, and every
+    /// adjacency list is strictly ascending (the determinism the replay
+    /// suites rely on).
+    #[test]
+    fn adjacency_matches_model_and_stays_sorted(ops in prop::collection::vec(any::<u8>(), 0..240)) {
+        let (g, _, mut edges) = build_graph(&ops);
+        edges.sort_unstable();
+        let mut seen: Vec<(u32, u32)> = g.edges().map(|e| (e.lo().raw(), e.hi().raw())).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, edges);
+        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        for v in g.iter() {
+            let nbrs = g.neighbor_vec(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency at {}", v);
+        }
+    }
+
+    /// Union–find vs a brute-force model: connectivity, set count and set
+    /// sizes all agree after an arbitrary union tape.
+    #[test]
+    fn unionfind_matches_naive_model(
+        len in 1usize..40,
+        unions in prop::collection::vec((any::<u8>(), any::<u8>()), 0..80),
+    ) {
+        let mut uf = UnionFind::new(len);
+        // Model: each element's set label, flood-filled on union.
+        let mut label: Vec<usize> = (0..len).collect();
+        for &(a, b) in &unions {
+            let (a, b) = (a as usize % len, b as usize % len);
+            let merged = uf.union(a, b);
+            prop_assert_eq!(merged, label[a] != label[b]);
+            if label[a] != label[b] {
+                let (from, to) = (label[b], label[a]);
+                for l in &mut label {
+                    if *l == from {
+                        *l = to;
+                    }
+                }
+            }
+        }
+        let distinct = {
+            let mut ls = label.clone();
+            ls.sort_unstable();
+            ls.dedup();
+            ls.len()
+        };
+        prop_assert_eq!(uf.set_count(), distinct);
+        for a in 0..len {
+            prop_assert_eq!(uf.set_size(a), label.iter().filter(|&&l| l == label[a]).count());
+            for b in 0..len {
+                prop_assert_eq!(uf.connected(a, b), label[a] == label[b]);
+            }
+        }
+    }
+
+    /// Union–find `push` keeps extending the universe with singletons.
+    #[test]
+    fn unionfind_push_after_unions(len in 1usize..20, extra in 1usize..10) {
+        let mut uf = UnionFind::new(len);
+        for i in 1..len {
+            uf.union(0, i);
+        }
+        prop_assert_eq!(uf.set_count(), 1);
+        for k in 0..extra {
+            let idx = uf.push();
+            prop_assert_eq!(idx, len + k);
+            prop_assert!(!uf.connected(0, idx));
+        }
+        prop_assert_eq!(uf.set_count(), 1 + extra);
+        prop_assert_eq!(uf.len(), len + extra);
+    }
+
+    /// `SortedSet` behaves like a sorted, deduplicated `Vec` under random
+    /// insert/remove tapes.
+    #[test]
+    fn sorted_set_matches_model(ops in prop::collection::vec((any::<bool>(), any::<u8>()), 0..120)) {
+        let mut s: SortedSet<u8> = SortedSet::new();
+        let mut model: Vec<u8> = Vec::new();
+        for &(insert, v) in &ops {
+            if insert {
+                prop_assert_eq!(s.insert(v), !model.contains(&v));
+                if !model.contains(&v) {
+                    model.push(v);
+                }
+            } else {
+                prop_assert_eq!(s.remove(&v), model.contains(&v));
+                model.retain(|&x| x != v);
+            }
+        }
+        model.sort_unstable();
+        prop_assert_eq!(s.iter().copied().collect::<Vec<_>>(), model);
+    }
+
+    /// `SortedMap` behaves like `BTreeMap` under random tapes, including
+    /// iteration order.
+    #[test]
+    fn sorted_map_matches_btreemap(ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..120)) {
+        let mut m: SortedMap<u8, u8> = SortedMap::new();
+        let mut model: std::collections::BTreeMap<u8, u8> = std::collections::BTreeMap::new();
+        for &(k, v, insert) in &ops {
+            if insert {
+                prop_assert_eq!(m.insert(k, v), model.insert(k, v));
+            } else {
+                prop_assert_eq!(m.remove(&k), model.remove(&k));
+            }
+        }
+        let got: Vec<(u8, u8)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+        let want: Vec<(u8, u8)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -38,6 +38,10 @@ mod table;
 
 pub use degree::{degree_stats, ratio_histogram, DegreeStats};
 pub use repair::{cost_stats, CostStats};
-pub use stretch::{stretch_exact, stretch_from_sources, stretch_sampled, StretchStats};
-pub use summary::{measure, measure_sampled, HealthSummary};
+pub use stretch::{
+    stretch_auto, stretch_exact, stretch_from_sources, stretch_sampled, StretchStats,
+};
+pub use summary::{
+    measure, measure_sampled, HealthSummary, DEFAULT_EXACT_THRESHOLD, DEFAULT_STRETCH_SAMPLES,
+};
 pub use table::{f2, f3, Table};

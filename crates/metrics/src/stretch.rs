@@ -83,6 +83,26 @@ pub fn stretch_exact(image: &Graph, ghost: &Graph) -> StretchStats {
     stretch_from_sources(image, ghost, &sources)
 }
 
+/// Exact stretch up to `threshold` live nodes, sampled (`samples` seeded
+/// BFS sources) above it — so sweeps over growing `n` never go quadratic.
+///
+/// This is the entry point the experiment binaries use; the threshold and
+/// sample count are surfaced as their `--stretch-threshold` /
+/// `--stretch-samples` flags.
+pub fn stretch_auto(
+    image: &Graph,
+    ghost: &Graph,
+    threshold: usize,
+    samples: usize,
+    seed: u64,
+) -> StretchStats {
+    if image.node_count() <= threshold {
+        stretch_exact(image, ghost)
+    } else {
+        stretch_sampled(image, ghost, samples, seed)
+    }
+}
+
 /// Sampled stretch: BFS from `samples` random live sources (seeded), which
 /// measures `samples · n` pairs.
 pub fn stretch_sampled(image: &Graph, ghost: &Graph, samples: usize, seed: u64) -> StretchStats {
@@ -146,6 +166,16 @@ mod tests {
         g.add_edge(n(2), n(3)).unwrap();
         let s = stretch_exact(&g, &g);
         assert_eq!(s.pairs, 2);
+    }
+
+    #[test]
+    fn auto_switches_at_the_threshold() {
+        let g = generators::connected_erdos_renyi(30, 0.1, 5);
+        let exact = stretch_auto(&g, &g, 30, 4, 9);
+        assert_eq!(exact, stretch_exact(&g, &g));
+        let sampled = stretch_auto(&g, &g, 29, 4, 9);
+        assert_eq!(sampled, stretch_sampled(&g, &g, 4, 9));
+        assert!(sampled.pairs < exact.pairs);
     }
 
     #[test]

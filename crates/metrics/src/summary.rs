@@ -2,9 +2,16 @@
 //! the E5 baseline-comparison table.
 
 use crate::degree::{degree_stats, DegreeStats};
-use crate::stretch::{stretch_exact, stretch_sampled, StretchStats};
+use crate::stretch::{stretch_auto, stretch_sampled, StretchStats};
 use fg_core::SelfHealer;
 use fg_graph::traversal;
+
+/// Above this many live nodes, [`measure`] samples stretch instead of
+/// running the quadratic all-pairs measurement.
+pub const DEFAULT_EXACT_THRESHOLD: usize = 2048;
+
+/// BFS sources [`measure`] uses once it switches to sampling.
+pub const DEFAULT_STRETCH_SAMPLES: usize = 64;
 
 /// A full health snapshot of a healer's network.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +32,10 @@ pub struct HealthSummary {
     pub diameter: Option<u32>,
 }
 
-/// Measures `healer` exhaustively (all-pairs stretch) — for experiment
-/// sizes up to a few thousand nodes.
+/// Measures `healer` with all-pairs stretch up to
+/// [`DEFAULT_EXACT_THRESHOLD`] live nodes and
+/// [`DEFAULT_STRETCH_SAMPLES`]-source sampled stretch above it, so
+/// large-`n` sweeps never go quadratic.
 pub fn measure(healer: &dyn SelfHealer) -> HealthSummary {
     measure_inner(healer, None, 0)
 }
@@ -41,7 +50,13 @@ fn measure_inner(healer: &dyn SelfHealer, samples: Option<usize>, seed: u64) -> 
     let ghost = healer.ghost();
     let stretch = match samples {
         Some(k) => stretch_sampled(image, ghost, k, seed),
-        None => stretch_exact(image, ghost),
+        None => stretch_auto(
+            image,
+            ghost,
+            DEFAULT_EXACT_THRESHOLD,
+            DEFAULT_STRETCH_SAMPLES,
+            seed,
+        ),
     };
     HealthSummary {
         healer: healer.name(),

@@ -47,6 +47,16 @@ impl Table {
         &self.title
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders an aligned GitHub-flavoured markdown table preceded by a
     /// bold title line.
     pub fn to_markdown(&self) -> String {

@@ -21,6 +21,7 @@
 
 pub use fg_adversary as adversary;
 pub use fg_baselines as baselines;
+pub use fg_bench as bench;
 pub use fg_core as core;
 pub use fg_dist as dist;
 pub use fg_graph as graph;

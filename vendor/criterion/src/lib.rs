@@ -116,14 +116,18 @@ impl Bencher {
 pub struct BenchmarkGroup {
     name: String,
     samples: usize,
+    smoke: bool,
 }
 
 impl BenchmarkGroup {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (ignored in
+    /// `--test` smoke mode, which always runs one sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         // Criterion requires >= 10; we honour small numbers since each
         // sample is one timed run here.
-        self.samples = n.clamp(1, 20);
+        if !self.smoke {
+            self.samples = n.clamp(1, 20);
+        }
         self
     }
 
@@ -145,11 +149,20 @@ impl BenchmarkGroup {
 /// The harness entry point handed to each benchmark function.
 pub struct Criterion {
     samples: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
+    /// Ten timed samples normally; one when the process was invoked with
+    /// `--test` (i.e. `cargo bench -- --test`), mirroring real criterion's
+    /// smoke mode so CI can check every bench runs without paying for
+    /// statistics.
     fn default() -> Self {
-        Criterion { samples: 10 }
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            samples: if smoke { 1 } else { 10 },
+            smoke,
+        }
     }
 }
 
@@ -159,6 +172,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.to_string(),
             samples: self.samples,
+            smoke: self.smoke,
         }
     }
 

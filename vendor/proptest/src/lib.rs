@@ -139,6 +139,20 @@ impl<T: Arbitrary + Copy + PartialOrd> Strategy for core::ops::Range<T> {
     }
 }
 
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
 /// The `any::<T>()` strategy: unconstrained values of `T`.
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(core::marker::PhantomData<T>);
