@@ -1,7 +1,7 @@
 //! The attack loop: run an adversary against any self-healing network.
 
 use crate::strategies::{Adversary, AttackView};
-use fg_core::{EngineError, NetworkEvent, SelfHealer};
+use fg_core::{BatchReport, EngineError, NetworkEvent, SelfHealer};
 
 /// Outcome of an attack run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,6 +12,9 @@ pub struct AttackLog {
     pub deletions: usize,
     /// How many were insertions.
     pub insertions: usize,
+    /// The per-op outcomes and aggregate envelope accounting of the run —
+    /// what every repair actually did, straight from the typed API.
+    pub report: BatchReport,
 }
 
 impl AttackLog {
@@ -29,7 +32,8 @@ impl AttackLog {
 /// Runs `adversary` against `healer` for at most `max_steps` moves (or
 /// until the adversary gives up), applying each event as it is produced —
 /// the adversary sees the healed network after every repair, exactly as in
-/// the paper's model.
+/// the paper's model. The returned log carries every event plus the typed
+/// outcome of every operation.
 ///
 /// # Errors
 ///
@@ -44,6 +48,7 @@ pub fn run_attack(
         events: Vec::new(),
         deletions: 0,
         insertions: 0,
+        report: BatchReport::new(),
     };
     for _ in 0..max_steps {
         let event = {
@@ -56,28 +61,29 @@ pub fn run_attack(
                 None => break,
             }
         };
-        healer.apply_event(&event)?;
-        if event.is_delete() {
-            log.deletions += 1;
-        } else {
-            log.insertions += 1;
-        }
+        let outcome = healer.apply_event(&event)?;
+        log.report.push(outcome);
         log.events.push(event);
     }
+    // Single source of truth: the counters mirror the batch report.
+    log.deletions = log.report.deletes as usize;
+    log.insertions = log.report.inserts as usize;
     Ok(log)
 }
 
 /// Replays a recorded event sequence against a healer — used to subject
-/// different healers (or the distributed engine) to the *same* attack.
+/// different healers (or the distributed engine) to the *same* attack —
+/// returning the per-op outcomes and aggregates.
 ///
 /// # Errors
 ///
-/// Propagates the first engine error.
-pub fn replay(healer: &mut dyn SelfHealer, events: &[NetworkEvent]) -> Result<(), EngineError> {
-    for e in events {
-        healer.apply_event(e)?;
-    }
-    Ok(())
+/// The first engine error, wrapped as [`EngineError::AtEvent`] with the
+/// index of the failing event.
+pub fn replay(
+    healer: &mut dyn SelfHealer,
+    events: &[NetworkEvent],
+) -> Result<BatchReport, EngineError> {
+    healer.apply_batch(events)
 }
 
 #[cfg(test)]
@@ -85,7 +91,7 @@ mod tests {
     use super::*;
     use crate::strategies::{MaxDegreeDeleter, RandomDeleter};
     use fg_core::ForgivingGraph;
-    use fg_graph::{generators, traversal};
+    use fg_graph::{generators, traversal, NodeId};
 
     #[test]
     fn attack_runs_until_floor() {
@@ -94,6 +100,8 @@ mod tests {
         let log = run_attack(&mut fg, &mut adv, 100).unwrap();
         assert_eq!(log.deletions, 6);
         assert_eq!(log.insertions, 0);
+        assert_eq!(log.report.deletes, 6);
+        assert_eq!(log.report.repairs().count(), 6);
         assert_eq!(fg.image().node_count(), 4);
         assert!(traversal::is_connected(fg.image()));
         fg.check_invariants().unwrap();
@@ -109,13 +117,29 @@ mod tests {
     }
 
     #[test]
-    fn replay_reproduces_state() {
+    fn replay_reproduces_state_and_outcomes() {
         let mut a = ForgivingGraph::from_graph(&generators::grid(3, 3)).unwrap();
         let mut adv = RandomDeleter::new(9, 3);
         let log = run_attack(&mut a, &mut adv, 100).unwrap();
 
         let mut b = ForgivingGraph::from_graph(&generators::grid(3, 3)).unwrap();
-        replay(&mut b, &log.events).unwrap();
+        let replayed = replay(&mut b, &log.events).unwrap();
         assert_eq!(a, b);
+        // Replaying produces the exact same typed outcomes.
+        assert_eq!(replayed, log.report);
+    }
+
+    #[test]
+    fn replay_pinpoints_illegal_events() {
+        let mut fg = ForgivingGraph::from_graph(&generators::path(4)).unwrap();
+        let events = vec![
+            NetworkEvent::delete(NodeId::new(1)),
+            NetworkEvent::delete(NodeId::new(1)),
+        ];
+        let err = replay(&mut fg, &events).unwrap_err();
+        match err {
+            EngineError::AtEvent { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected AtEvent, got {other:?}"),
+        }
     }
 }

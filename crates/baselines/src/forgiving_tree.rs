@@ -24,7 +24,7 @@
 //! its first listed neighbour; its remaining edges are unprotected
 //! non-tree edges. E9 measures the resulting degradation.
 
-use fg_core::{EngineError, ForgivingGraph, SelfHealer};
+use fg_core::{EngineError, ForgivingGraph, InsertReport, RepairReport, SelfHealer};
 use fg_graph::{traversal, Graph, NodeId};
 use std::collections::BTreeSet;
 
@@ -123,7 +123,7 @@ impl SelfHealer for ForgivingTree {
         "forgiving-tree"
     }
 
-    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<InsertReport, EngineError> {
         if neighbors.is_empty() {
             return Err(EngineError::EmptyNeighbourhood);
         }
@@ -149,16 +149,40 @@ impl SelfHealer for ForgivingTree {
             self.side.add_edge(v, x).expect("fresh side edge");
         }
         self.rebuild();
-        Ok(v)
+        Ok(InsertReport {
+            node: v,
+            neighbors: neighbors.len(),
+            edges_added: neighbors.len() as u64,
+        })
     }
 
-    fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
-        self.tree.delete(v)?;
+    fn delete(&mut self, v: NodeId) -> Result<RepairReport, EngineError> {
+        // The tree engine's report covers the protected spanning tree;
+        // widen every `G'`-relative field to the full network (degree,
+        // alive neighbours, n) and account the unprotected side edges
+        // that die with the victim. Virtual-machinery fields stay
+        // tree-scoped — the spanning tree is all this baseline protects.
+        let ghost_degree = self.ghost.degree(v);
+        let alive_neighbors = self
+            .ghost
+            .neighbors(v)
+            .filter(|&x| self.tree.is_alive(x))
+            .count();
+        let side_degree = if self.side.contains(v) {
+            self.side.degree(v)
+        } else {
+            0
+        };
+        let mut report = self.tree.delete(v)?;
         if self.side.contains(v) {
             self.side.remove_node(v).expect("side tracks liveness");
         }
+        report.ghost_degree = ghost_degree;
+        report.alive_neighbors = alive_neighbors;
+        report.nodes_ever = self.ghost.nodes_ever();
+        report.edges_dropped += side_degree as u64;
         self.rebuild();
-        Ok(())
+        Ok(report)
     }
 
     fn image(&self) -> &Graph {
@@ -196,7 +220,7 @@ mod tests {
     #[test]
     fn deletion_keeps_tree_connected() {
         let mut ft = ForgivingTree::from_graph(&generators::star(8));
-        SelfHealer::delete(&mut ft, n(0)).unwrap();
+        let _ = SelfHealer::delete(&mut ft, n(0)).unwrap();
         assert!(traversal::is_connected(ft.image()));
         assert_eq!(ft.image().node_count(), 7);
     }
@@ -211,7 +235,7 @@ mod tests {
             g.edges().find(|e| !tree.has_edge(e.lo(), e.hi())).unwrap()
         };
         let mut ft = ForgivingTree::from_graph(&g);
-        SelfHealer::delete(&mut ft, side_edge.lo()).unwrap();
+        let _ = SelfHealer::delete(&mut ft, side_edge.lo()).unwrap();
         // The side edge is gone and was not replaced by anything except
         // tree healing.
         assert!(!ft.image().has_edge(side_edge.lo(), side_edge.hi()));
@@ -221,12 +245,12 @@ mod tests {
     #[test]
     fn insertions_become_tree_leaves() {
         let mut ft = ForgivingTree::from_graph(&generators::path(4));
-        let v = SelfHealer::insert(&mut ft, &[n(1), n(3)]).unwrap();
+        let v = SelfHealer::insert(&mut ft, &[n(1), n(3)]).unwrap().node;
         assert!(ft.image().has_edge(v, n(1)), "tree edge");
         assert!(ft.image().has_edge(v, n(3)), "side edge");
         assert_eq!(ft.tree_image().degree(v), 1, "only the first is protected");
         // Kill the tree parent: v must stay connected via tree healing.
-        SelfHealer::delete(&mut ft, n(1)).unwrap();
+        let _ = SelfHealer::delete(&mut ft, n(1)).unwrap();
         assert!(traversal::is_connected(ft.image()));
     }
 
@@ -234,7 +258,7 @@ mod tests {
     fn full_cascade_stays_connected() {
         let mut ft = ForgivingTree::from_graph(&generators::grid(3, 3));
         for v in 0..8u32 {
-            SelfHealer::delete(&mut ft, n(v)).unwrap();
+            let _ = SelfHealer::delete(&mut ft, n(v)).unwrap();
             assert!(traversal::is_connected(ft.image()), "after deleting {v}");
         }
         assert_eq!(ft.image().node_count(), 1);

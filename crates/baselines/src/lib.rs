@@ -7,7 +7,7 @@
 //!   ([`ForgivingTree`]), and
 //! * the **naive healers** — no-heal, cycle, star, clique and
 //!   per-deletion binary trees — that bracket the degree/stretch design
-//!   space (see [`naive`] module docs).
+//!   space (see [`NoHealer`] and friends).
 //!
 //! The E4/E5/E9 experiments run every healer under identical attack
 //! traces via `fg_adversary::replay` and tabulate the paper's metrics.

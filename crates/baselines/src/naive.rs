@@ -16,7 +16,7 @@
 //! The Forgiving Graph's point is to get the binary-tree stretch with a
 //! *non-compounding* multiplicative degree bound.
 
-use fg_core::{EngineError, SelfHealer};
+use fg_core::{EngineError, InsertReport, RepairReport, SelfHealer};
 use fg_graph::{Graph, NodeId};
 use std::collections::BTreeSet;
 
@@ -78,15 +78,30 @@ macro_rules! impl_self_healer {
                 $name
             }
 
-            fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
-                self.net.insert(neighbors)
+            fn insert(&mut self, neighbors: &[NodeId]) -> Result<InsertReport, EngineError> {
+                let node = self.net.insert(neighbors)?;
+                Ok(InsertReport {
+                    node,
+                    neighbors: neighbors.len(),
+                    edges_added: neighbors.len() as u64,
+                })
             }
 
-            fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
+            fn delete(&mut self, v: NodeId) -> Result<RepairReport, EngineError> {
+                let ghost_degree = self.net.ghost.degree(v);
+                let nodes_ever = self.net.ghost.nodes_ever();
                 let neighbors = self.net.delete(v)?;
                 #[allow(clippy::redundant_closure_call)]
-                ($repair)(&mut self.net.image, &neighbors);
-                Ok(())
+                let edges_added: u64 = ($repair)(&mut self.net.image, &neighbors);
+                // Naive healers have no virtual machinery, so the report
+                // carries only the edge-level story: the victim's released
+                // edges and whatever the local rule wired back in.
+                Ok(RepairReport {
+                    edges_added,
+                    edges_dropped: neighbors.len() as u64,
+                    affected_nodes: neighbors.len(),
+                    ..RepairReport::for_deletion(v, ghost_degree, neighbors.len(), nodes_ever)
+                })
             }
 
             fn image(&self) -> &Graph {
@@ -116,7 +131,7 @@ pub struct NoHealer {
     net: BaseNet,
 }
 
-impl_self_healer!(NoHealer, "no-heal", |_: &mut Graph, _: &[NodeId]| {});
+impl_self_healer!(NoHealer, "no-heal", |_: &mut Graph, _: &[NodeId]| 0u64);
 
 /// Connects the victim's surviving neighbours in a ring (sorted by id).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,24 +139,28 @@ pub struct CycleHealer {
     net: BaseNet,
 }
 
-impl_self_healer!(
-    CycleHealer,
-    "cycle-heal",
-    |image: &mut Graph, nbrs: &[NodeId]| {
-        match nbrs.len() {
-            0 | 1 => {}
-            2 => {
-                let _ = image.ensure_edge(nbrs[0], nbrs[1]);
+impl_self_healer!(CycleHealer, "cycle-heal", |image: &mut Graph,
+                                              nbrs: &[NodeId]|
+ -> u64 {
+    let mut added = 0u64;
+    match nbrs.len() {
+        0 | 1 => {}
+        2 => {
+            added += u64::from(image.ensure_edge(nbrs[0], nbrs[1]).unwrap_or(false));
+        }
+        _ => {
+            for w in nbrs.windows(2) {
+                added += u64::from(image.ensure_edge(w[0], w[1]).unwrap_or(false));
             }
-            _ => {
-                for w in nbrs.windows(2) {
-                    let _ = image.ensure_edge(w[0], w[1]);
-                }
-                let _ = image.ensure_edge(nbrs[nbrs.len() - 1], nbrs[0]);
-            }
+            added += u64::from(
+                image
+                    .ensure_edge(nbrs[nbrs.len() - 1], nbrs[0])
+                    .unwrap_or(false),
+            );
         }
     }
-);
+    added
+});
 
 /// Connects every surviving neighbour to the smallest-id one — a local
 /// star. Low stretch, catastrophic centre degree.
@@ -150,17 +169,17 @@ pub struct StarHealer {
     net: BaseNet,
 }
 
-impl_self_healer!(
-    StarHealer,
-    "star-heal",
-    |image: &mut Graph, nbrs: &[NodeId]| {
-        if let Some((&center, rest)) = nbrs.split_first() {
-            for &x in rest {
-                let _ = image.ensure_edge(center, x);
-            }
+impl_self_healer!(StarHealer, "star-heal", |image: &mut Graph,
+                                            nbrs: &[NodeId]|
+ -> u64 {
+    let mut added = 0u64;
+    if let Some((&center, rest)) = nbrs.split_first() {
+        for &x in rest {
+            added += u64::from(image.ensure_edge(center, x).unwrap_or(false));
         }
     }
-);
+    added
+});
 
 /// Connects all surviving neighbours pairwise. Perfect stretch, quadratic
 /// edge growth.
@@ -169,17 +188,17 @@ pub struct CliqueHealer {
     net: BaseNet,
 }
 
-impl_self_healer!(
-    CliqueHealer,
-    "clique-heal",
-    |image: &mut Graph, nbrs: &[NodeId]| {
-        for (i, &x) in nbrs.iter().enumerate() {
-            for &y in &nbrs[i + 1..] {
-                let _ = image.ensure_edge(x, y);
-            }
+impl_self_healer!(CliqueHealer, "clique-heal", |image: &mut Graph,
+                                                nbrs: &[NodeId]|
+ -> u64 {
+    let mut added = 0u64;
+    for (i, &x) in nbrs.iter().enumerate() {
+        for &y in &nbrs[i + 1..] {
+            added += u64::from(image.ensure_edge(x, y).unwrap_or(false));
         }
     }
-);
+    added
+});
 
 /// Connects the surviving neighbours by a fresh balanced binary tree
 /// (heap order over the sorted ids). This is "the Forgiving Graph without
@@ -191,15 +210,19 @@ pub struct BinaryTreeHealer {
     net: BaseNet,
 }
 
-impl_self_healer!(
-    BinaryTreeHealer,
-    "binary-tree-heal",
-    |image: &mut Graph, nbrs: &[NodeId]| {
-        for i in 1..nbrs.len() {
-            let _ = image.ensure_edge(nbrs[(i - 1) / 2], nbrs[i]);
-        }
+impl_self_healer!(BinaryTreeHealer, "binary-tree-heal", |image: &mut Graph,
+                                                         nbrs: &[NodeId]|
+ -> u64 {
+    let mut added = 0u64;
+    for i in 1..nbrs.len() {
+        added += u64::from(
+            image
+                .ensure_edge(nbrs[(i - 1) / 2], nbrs[i])
+                .unwrap_or(false),
+        );
     }
-);
+    added
+});
 
 #[cfg(test)]
 mod tests {
@@ -211,7 +234,7 @@ mod tests {
     }
 
     fn hub_delete<H: SelfHealer>(mut h: H) -> H {
-        h.delete(n(0)).unwrap();
+        let _ = h.delete(n(0)).unwrap();
         h
     }
 
@@ -263,7 +286,7 @@ mod tests {
     #[test]
     fn inserts_work_for_all() {
         let mut h = CycleHealer::from_graph(&generators::path(3));
-        let v = SelfHealer::insert(&mut h, &[n(0), n(2)]).unwrap();
+        let v = SelfHealer::insert(&mut h, &[n(0), n(2)]).unwrap().node;
         assert_eq!(v, n(3));
         assert!(h.image().has_edge(v, n(0)));
         assert!(h.ghost().has_edge(v, n(2)));
@@ -280,7 +303,7 @@ mod tests {
     #[test]
     fn double_delete_errors() {
         let mut h = NoHealer::from_graph(&generators::path(3));
-        SelfHealer::delete(&mut h, n(1)).unwrap();
+        let _ = SelfHealer::delete(&mut h, n(1)).unwrap();
         assert_eq!(
             SelfHealer::delete(&mut h, n(1)),
             Err(EngineError::NotAlive(n(1)))
@@ -290,7 +313,7 @@ mod tests {
     #[test]
     fn ghost_never_shrinks() {
         let mut h = CliqueHealer::from_graph(&generators::cycle(5));
-        SelfHealer::delete(&mut h, n(2)).unwrap();
+        let _ = SelfHealer::delete(&mut h, n(2)).unwrap();
         assert_eq!(h.ghost().node_count(), 5);
         assert_eq!(h.ghost().degree(n(2)), 2);
     }

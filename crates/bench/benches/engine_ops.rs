@@ -13,7 +13,7 @@ fn bench_delete_hub(c: &mut Criterion) {
             b.iter_batched(
                 || ForgivingGraph::from_graph(&generators::star(d + 1)).expect("fresh"),
                 |mut fg| {
-                    fg.delete(black_box(NodeId::new(0))).expect("hub alive");
+                    let _ = fg.delete(black_box(NodeId::new(0))).expect("hub alive");
                     fg
                 },
                 criterion::BatchSize::SmallInput,
@@ -39,7 +39,7 @@ fn bench_cascade(c: &mut Criterion) {
                 },
                 |mut fg| {
                     for v in 0..(n as u32) / 2 {
-                        fg.delete(NodeId::new(v)).expect("alive");
+                        let _ = fg.delete(NodeId::new(v)).expect("alive");
                     }
                     fg
                 },

@@ -8,8 +8,8 @@
 //! mean the shape holds.
 
 use fg_bench::BenchArgs;
-use fg_core::PlacementPolicy;
-use fg_dist::Network;
+use fg_core::{PlacementPolicy, SelfHealer};
+use fg_dist::DistHealer;
 use fg_graph::{generators, NodeId};
 use fg_metrics::{f2, Table};
 
@@ -33,8 +33,9 @@ fn main() {
     for &base in &[4usize, 8, 16, 32, 64, 128, 256] {
         let d = args.scale_with_floor(base, 2);
         let g = generators::star(d + 1);
-        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
-        let cost = net.delete(NodeId::new(0)).expect("hub is alive");
+        let mut healer = DistHealer::from_graph(&g, PlacementPolicy::Adjacent);
+        let _ = healer.delete(NodeId::new(0)).expect("hub is alive");
+        let cost = healer.costs().last().expect("repair ran").clone();
         table.push_row([
             "star".to_string(),
             (d + 1).to_string(),
@@ -50,13 +51,13 @@ fn main() {
     for &base in &[32usize, 64, 128, 256] {
         let n = args.scale_n(base);
         let g = generators::connected_erdos_renyi(n, 8.0 / n as f64, seed);
-        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        let mut healer = DistHealer::from_graph(&g, PlacementPolicy::Adjacent);
         // Delete a quarter of the nodes, then report the costliest repair.
         for v in 0..(n as u32) / 4 {
-            net.delete(NodeId::new(v)).expect("alive");
+            let _ = healer.delete(NodeId::new(v)).expect("alive");
         }
-        let worst = net
-            .repair_costs
+        let worst = healer
+            .costs()
             .iter()
             .max_by_key(|c| c.messages)
             .expect("repairs happened")

@@ -20,7 +20,7 @@ fn theorem2_bound(alpha: f64, n: usize) -> f64 {
 }
 
 fn measure(healer: &mut dyn SelfHealer, n: usize, args: &BenchArgs, rows: &mut Table) {
-    healer.delete(NodeId::new(0)).expect("hub is alive");
+    let _ = healer.delete(NodeId::new(0)).expect("hub is alive");
     let degree = degree_stats(healer.image(), healer.ghost());
     // All-pairs stretch is exact below the threshold; sampled above (the
     // clique healer's quadratic edge growth makes all-pairs BFS explode,

@@ -62,7 +62,7 @@ fn main() {
     ]);
 
     for healer in &mut healers {
-        replay(healer.as_mut(), &log.events).expect("same trace is legal");
+        let _ = replay(healer.as_mut(), &log.events).expect("same trace is legal");
         let summary = measure(healer.as_ref());
         table.push_row([
             summary.healer.to_string(),

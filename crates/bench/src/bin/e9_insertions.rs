@@ -43,7 +43,7 @@ fn main() {
         fg.check_invariants().expect("invariants hold");
 
         let mut ft = ForgivingTree::from_graph(&g);
-        replay(&mut ft, &log.events).expect("same trace is legal");
+        let _ = replay(&mut ft, &log.events).expect("same trace is legal");
 
         for (init, summary) in [
             (0u64, measure_sampled(&fg, 64, seed.wrapping_sub(26))),

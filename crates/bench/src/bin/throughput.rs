@@ -14,7 +14,7 @@
 use fg_bench::json::Json;
 use fg_bench::{scenario, BenchArgs, ScenarioRunner};
 use fg_core::{ForgivingGraph, PlacementPolicy, SelfHealer};
-use fg_dist::Network;
+use fg_dist::DistHealer;
 use fg_metrics::{f2, Table};
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
             ));
         }
         if backend == "dist" || backend == "both" {
-            backends.push(Box::new(Network::from_graph(
+            backends.push(Box::new(DistHealer::from_graph(
                 &sc.initial,
                 PlacementPolicy::Adjacent,
             )));

@@ -9,7 +9,7 @@
 //!
 //! Each binary prints markdown tables (the ones embedded in
 //! EXPERIMENTS.md) to stdout; all of them share the [`args`] flag parser
-//! (`--seed` / `--scale` / `--json`). The [`scenario`] module is the
+//! (`--seed` / `--scale` / `--json`). The [`scenario`](mod@scenario) module is the
 //! throughput side of the harness: named end-to-end workloads replayed
 //! through any healer with batched ingestion, reported as
 //! machine-readable `BENCH_*.json` via [`json`].
@@ -48,7 +48,8 @@ pub fn engine(name: &str, n: usize, seed: u64, policy: PlacementPolicy) -> Forgi
         .expect("workloads are tombstone-free")
 }
 
-/// `⌈log₂ n⌉`, the paper's stretch bound.
+/// `⌈log₂ n⌉`, the paper's stretch bound (narrowed from the shared
+/// `fg_core::api::ceil_log2` definition).
 pub fn ceil_log2(n: usize) -> u32 {
-    (usize::BITS - (n.max(2) - 1).leading_zeros()).max(1)
+    fg_core::api::ceil_log2(n) as u32
 }

@@ -21,7 +21,7 @@
 //! | `partition-then-heal`| two clusters, bridge nodes killed first, then churn |
 
 use crate::json::Json;
-use fg_core::{EngineError, NetworkEvent, SelfHealer};
+use fg_core::{EngineError, HealerObserver, NetworkEvent, SelfHealer};
 use fg_graph::{Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -433,6 +433,16 @@ pub struct RunResult {
     pub final_edges: usize,
     /// The paper's `n` (nodes ever seen) after the run.
     pub nodes_ever: usize,
+    /// Image edge units added over the run (from the batch reports).
+    pub edges_added: u64,
+    /// Image edge units dropped over the run.
+    pub edges_dropped: u64,
+    /// Helpers created across all repairs.
+    pub helpers_created: u64,
+    /// Worst single-repair virtual-node churn of the run.
+    pub max_churn: u64,
+    /// Worst `churn / (d·⌈log₂ n⌉)` — the aggregate Theorem 1.3 envelope.
+    pub max_normalized_churn: f64,
 }
 
 impl RunResult {
@@ -451,6 +461,14 @@ impl RunResult {
             .field("final_nodes", Json::Int(self.final_nodes as i64))
             .field("final_edges", Json::Int(self.final_edges as i64))
             .field("nodes_ever", Json::Int(self.nodes_ever as i64))
+            .field("edges_added", Json::Int(self.edges_added as i64))
+            .field("edges_dropped", Json::Int(self.edges_dropped as i64))
+            .field("helpers_created", Json::Int(self.helpers_created as i64))
+            .field("max_churn", Json::Int(self.max_churn as i64))
+            .field(
+                "max_normalized_churn",
+                Json::Float(self.max_normalized_churn),
+            )
     }
 }
 
@@ -469,9 +487,11 @@ impl ScenarioRunner {
         }
     }
 
-    /// Replays `scenario` through `healer`, timing each ingestion batch.
-    /// Only event application is timed — trace generation happened when
-    /// the scenario was built.
+    /// Replays `scenario` through `healer`, timing each ingestion batch
+    /// (observers off — the healer's unobserved fast path). Only event
+    /// application is timed — trace generation happened when the scenario
+    /// was built. Per-op telemetry is folded from the batch reports into
+    /// the result's aggregate fields.
     ///
     /// # Errors
     ///
@@ -482,16 +502,58 @@ impl ScenarioRunner {
         scenario: &Scenario,
         healer: &mut dyn SelfHealer,
     ) -> Result<RunResult, EngineError> {
+        // `apply_batch` (not `apply_batch_observed` with a no-op): the
+        // engine's unobserved path monomorphizes its callbacks away, and
+        // this is the entry point the throughput trajectory measures.
+        self.run_inner(scenario, healer, |h, batch| h.apply_batch(batch))
+    }
+
+    /// [`ScenarioRunner::run`] with a streaming observer riding along
+    /// (inside the timed region — observers have a cost only when used).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioRunner::run`].
+    pub fn run_observed(
+        &self,
+        scenario: &Scenario,
+        healer: &mut dyn SelfHealer,
+        obs: &mut dyn HealerObserver,
+    ) -> Result<RunResult, EngineError> {
+        self.run_inner(scenario, healer, |h, batch| {
+            h.apply_batch_observed(batch, &mut *obs)
+        })
+    }
+
+    fn run_inner(
+        &self,
+        scenario: &Scenario,
+        healer: &mut dyn SelfHealer,
+        mut ingest: impl FnMut(
+            &mut dyn SelfHealer,
+            &[NetworkEvent],
+        ) -> Result<fg_core::BatchReport, EngineError>,
+    ) -> Result<RunResult, EngineError> {
         let mut wall = 0.0f64;
         let mut max_batch_ms = 0.0f64;
         let mut batches = 0usize;
+        let mut edges_added = 0u64;
+        let mut edges_dropped = 0u64;
+        let mut helpers_created = 0u64;
+        let mut max_churn = 0u64;
+        let mut max_normalized_churn = 0.0f64;
         for batch in scenario.events.chunks(self.batch_size) {
             let start = Instant::now();
-            healer.apply_batch(batch)?;
+            let report = ingest(healer, batch)?;
             let secs = start.elapsed().as_secs_f64();
             wall += secs;
             max_batch_ms = max_batch_ms.max(secs * 1e3);
             batches += 1;
+            edges_added += report.edges_added;
+            edges_dropped += report.edges_dropped;
+            helpers_created += report.helpers_created;
+            max_churn = max_churn.max(report.max_churn);
+            max_normalized_churn = max_normalized_churn.max(report.max_normalized_churn());
         }
         let events = scenario.events.len();
         Ok(RunResult {
@@ -515,6 +577,11 @@ impl ScenarioRunner {
             final_nodes: healer.image().node_count(),
             final_edges: healer.image().edge_count(),
             nodes_ever: healer.ghost().nodes_ever(),
+            edges_added,
+            edges_dropped,
+            helpers_created,
+            max_churn,
+            max_normalized_churn,
         })
     }
 }
@@ -523,7 +590,7 @@ impl ScenarioRunner {
 mod tests {
     use super::*;
     use fg_core::{ForgivingGraph, PlacementPolicy};
-    use fg_dist::Network;
+    use fg_dist::DistHealer;
     use fg_graph::traversal;
 
     #[test]
@@ -559,13 +626,18 @@ mod tests {
     fn engine_and_dist_agree_on_scenario_traces() {
         let sc = scenario("partition-then-heal", 24, 60, 3);
         let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
-        let mut net = Network::from_graph(&sc.initial, PlacementPolicy::Adjacent);
-        ScenarioRunner::new(8)
+        let mut net = DistHealer::from_graph(&sc.initial, PlacementPolicy::Adjacent);
+        let engine_run = ScenarioRunner::new(8)
             .run(&sc, &mut fg)
             .expect("engine run");
-        ScenarioRunner::new(8).run(&sc, &mut net).expect("dist run");
-        assert_eq!(net.image(), fg.image());
-        assert_eq!(net.ghost(), fg.ghost());
+        let dist_run = ScenarioRunner::new(8).run(&sc, &mut net).expect("dist run");
+        assert_eq!(SelfHealer::image(&net), fg.image());
+        assert_eq!(SelfHealer::ghost(&net), fg.ghost());
+        // Same structural reports under the façade ⇒ same aggregates.
+        assert_eq!(dist_run.edges_added, engine_run.edges_added);
+        assert_eq!(dist_run.edges_dropped, engine_run.edges_dropped);
+        assert_eq!(dist_run.helpers_created, engine_run.helpers_created);
+        assert_eq!(dist_run.max_churn, engine_run.max_churn);
     }
 
     #[test]

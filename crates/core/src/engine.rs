@@ -7,13 +7,14 @@
 //! with messages. Both implementations produce identical state, which the
 //! integration suite asserts.
 
+use crate::api::{HealerObserver, InsertReport, NoopObserver, RepairReport};
 use crate::error::EngineError;
 use crate::event::NetworkEvent;
 use crate::forest::Forest;
 use crate::image::ImageGraph;
 use crate::plan::WireTree;
 use crate::slot::{Slot, VKey};
-use crate::stats::{EngineStats, RepairReport};
+use crate::stats::EngineStats;
 use fg_graph::{Graph, NodeId, SortedMap, SortedSet};
 use serde::{Deserialize, Serialize};
 
@@ -223,6 +224,19 @@ impl ForgivingGraph {
     /// * [`EngineError::DuplicateNeighbour`] for repeats,
     /// * [`EngineError::NotAlive`] if a neighbour is dead or unknown.
     pub fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+        self.insert_with(neighbors, &mut NoopObserver)
+            .map(|report| report.node)
+    }
+
+    /// [`ForgivingGraph::insert`] with streaming instrumentation: `obs`
+    /// receives one `on_repair_edge(v, x, true)` per attachment. The
+    /// unobserved path monomorphizes over [`NoopObserver`] and compiles
+    /// the callbacks away.
+    pub fn insert_with<O: HealerObserver + ?Sized>(
+        &mut self,
+        neighbors: &[NodeId],
+        obs: &mut O,
+    ) -> Result<InsertReport, EngineError> {
         if neighbors.is_empty() {
             return Err(EngineError::EmptyNeighbourhood);
         }
@@ -242,9 +256,15 @@ impl ForgivingGraph {
         for &x in neighbors {
             self.ghost.add_edge(v, x).expect("fresh node, fresh edges");
             self.image.inc(v, x);
+            obs.on_repair_edge(v, x, true);
         }
         self.stats.inserts += 1;
-        Ok(v)
+        self.stats.edges_added += neighbors.len() as u64;
+        Ok(InsertReport {
+            node: v,
+            neighbors: neighbors.len(),
+            edges_added: neighbors.len() as u64,
+        })
     }
 
     /// Adversarially deletes `v` and runs the self-healing repair.
@@ -260,10 +280,28 @@ impl ForgivingGraph {
     ///
     /// [`EngineError::NotAlive`] if `v` is unknown or already deleted.
     pub fn delete(&mut self, v: NodeId) -> Result<RepairReport, EngineError> {
+        self.delete_with(v, &mut NoopObserver)
+    }
+
+    /// [`ForgivingGraph::delete`] with streaming instrumentation: `obs`
+    /// receives one `on_repair_edge` per image edge unit the repair adds
+    /// or drops, in deterministic order. The unobserved path
+    /// monomorphizes over [`NoopObserver`] and compiles the callbacks
+    /// away.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotAlive`] if `v` is unknown or already deleted.
+    pub fn delete_with<O: HealerObserver + ?Sized>(
+        &mut self,
+        v: NodeId,
+        obs: &mut O,
+    ) -> Result<RepairReport, EngineError> {
         if !self.is_alive(v) {
             return Err(EngineError::NotAlive(v));
         }
         let before = self.stats;
+        let nodes_ever = self.nodes_ever();
         let ghost_degree = self.ghost.degree(v);
         let alive_nbrs: Vec<NodeId> = self
             .ghost
@@ -274,7 +312,9 @@ impl ForgivingGraph {
         // Release the intact original edges (v, x).
         for &x in &alive_nbrs {
             self.image.dec(v, x);
+            obs.on_repair_edge(v, x, false);
         }
+        self.stats.edges_dropped += alive_nbrs.len() as u64;
 
         // The victim's virtual nodes, and the trees they live in.
         let removed: SortedSet<VKey> = self.forest.keys_of_owner(v).into_iter().collect();
@@ -330,6 +370,7 @@ impl ForgivingGraph {
                 &anchors,
                 &mut fragments,
                 &mut anchor_frag,
+                obs,
             );
         }
 
@@ -365,12 +406,20 @@ impl ForgivingGraph {
             let pos = anchor_list.binary_search(rep).expect("anchor listed");
             buckets[pos].extend(trees);
         }
+        let report_buckets = buckets.iter().filter(|b| !b.is_empty()).count();
+        let affected_nodes = {
+            let mut owners = SortedSet::new();
+            for &a in &anchor_list {
+                owners.insert(a.owner());
+            }
+            owners.len()
+        };
 
         // The victim must be fully detached from the image by now.
         self.image.remove_node(v);
 
         // Phase 2: BT_v bottom-up merge into a single reconstruction tree.
-        let (rt, btv_rounds) = self.btv_merge(buckets);
+        let (rt, btv_rounds) = self.btv_merge(buckets, obs);
         let (rt_leaves, rt_depth) = match rt {
             Some(root) => {
                 let n = self.forest.node(root);
@@ -386,8 +435,14 @@ impl ForgivingGraph {
             deleted: v,
             ghost_degree,
             alive_neighbors: alive_nbrs.len(),
+            nodes_ever,
             fragments: report_fragments,
             trees_collected,
+            will_entries: removed.len(),
+            buckets: report_buckets,
+            affected_nodes,
+            edges_added: after.edges_added - before.edges_added,
+            edges_dropped: after.edges_dropped - before.edges_dropped,
             helpers_created: after.helpers_created - before.helpers_created,
             helpers_freed: after.helpers_freed - before.helpers_freed,
             leaves_created: after.leaves_created - before.leaves_created,
@@ -406,7 +461,7 @@ impl ForgivingGraph {
     /// emitted as the fragment's primary roots. Anchors encountered along
     /// the way are recorded with their fragment.
     #[allow(clippy::too_many_arguments)]
-    fn gather(
+    fn gather<O: HealerObserver + ?Sized>(
         &mut self,
         key: VKey,
         frag: usize,
@@ -415,12 +470,13 @@ impl ForgivingGraph {
         anchors: &SortedSet<VKey>,
         fragments: &mut Vec<Vec<WireTree>>,
         anchor_frag: &mut SortedMap<VKey, usize>,
+        obs: &mut O,
     ) {
         if removed.contains(&key) {
             // The victim's node: children fall into separate fragments.
             let kids: Vec<VKey> = self.forest.children(key).collect();
             for &c in &kids {
-                self.detach_edge(key, c);
+                self.detach_edge(key, c, obs);
             }
             if key.is_real() {
                 self.stats.leaves_removed += 1;
@@ -439,6 +495,7 @@ impl ForgivingGraph {
                     anchors,
                     fragments,
                     anchor_frag,
+                    obs,
                 );
             }
         } else if tainted.contains(&key) || !self.forest.node(key).is_complete() {
@@ -449,12 +506,21 @@ impl ForgivingGraph {
             }
             let kids: Vec<VKey> = self.forest.children(key).collect();
             for &c in &kids {
-                self.detach_edge(key, c);
+                self.detach_edge(key, c, obs);
             }
             self.stats.helpers_freed += 1;
             self.forest.remove_isolated(key);
             for &c in &kids {
-                self.gather(c, frag, removed, tainted, anchors, fragments, anchor_frag);
+                self.gather(
+                    c,
+                    frag,
+                    removed,
+                    tainted,
+                    anchors,
+                    fragments,
+                    anchor_frag,
+                    obs,
+                );
             }
         } else {
             // Primary root: a clean complete subtree survives wholesale.
@@ -467,9 +533,16 @@ impl ForgivingGraph {
     }
 
     /// Detaches a parent→child tree edge and releases its image unit.
-    pub(crate) fn detach_edge(&mut self, parent: VKey, child: VKey) {
+    pub(crate) fn detach_edge<O: HealerObserver + ?Sized>(
+        &mut self,
+        parent: VKey,
+        child: VKey,
+        obs: &mut O,
+    ) {
         self.forest.detach_child(parent, child);
         self.image.dec(parent.owner(), child.owner());
+        self.stats.edges_dropped += 1;
+        obs.on_repair_edge(parent.owner(), child.owner(), false);
     }
 
     /// Exhaustive structural audit; used by every test layer.

@@ -15,6 +15,17 @@ pub enum EngineError {
     EmptyNeighbourhood,
     /// An insertion listed the same neighbour twice.
     DuplicateNeighbour(NodeId),
+    /// An event inside a batch failed; `index` pinpoints the offender so
+    /// a failing trace is debuggable ("earlier events stay applied" now
+    /// says *which* event broke).
+    AtEvent {
+        /// Zero-based position of the failing event in the batch.
+        index: usize,
+        /// The failing event, rendered with its `Display` impl.
+        event: String,
+        /// The underlying insert/delete error.
+        source: Box<EngineError>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -27,11 +38,25 @@ impl fmt::Display for EngineError {
             EngineError::DuplicateNeighbour(v) => {
                 write!(f, "neighbour {v} listed more than once")
             }
+            EngineError::AtEvent {
+                index,
+                event,
+                source,
+            } => {
+                write!(f, "batch event #{index} ({event}) failed: {source}")
+            }
         }
     }
 }
 
-impl Error for EngineError {}
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::AtEvent { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -49,6 +74,16 @@ mod tests {
         assert!(EngineError::DuplicateNeighbour(NodeId::new(1))
             .to_string()
             .contains("more than once"));
+        let wrapped = EngineError::AtEvent {
+            index: 3,
+            event: "delete(n7)".to_string(),
+            source: Box::new(EngineError::NotAlive(NodeId::new(7))),
+        };
+        assert_eq!(
+            wrapped.to_string(),
+            "batch event #3 (delete(n7)) failed: node n7 is not alive"
+        );
+        assert!(Error::source(&wrapped).is_some());
     }
 
     #[test]

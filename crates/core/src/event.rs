@@ -45,7 +45,20 @@ impl fmt::Display for NetworkEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetworkEvent::Insert { neighbors } => {
-                write!(f, "insert(deg {})", neighbors.len())
+                // Readable in trace logs: list small neighbourhoods in
+                // full, summarise heavy-fan inserts.
+                write!(f, "insert(")?;
+                if neighbors.len() <= 6 {
+                    for (i, x) in neighbors.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{x}")?;
+                    }
+                } else {
+                    write!(f, "deg {}", neighbors.len())?;
+                }
+                write!(f, ")")
             }
             NetworkEvent::Delete { node } => write!(f, "delete({node})"),
         }
@@ -60,7 +73,9 @@ mod tests {
     fn constructors_and_predicates() {
         let e = NetworkEvent::insert([NodeId::new(1), NodeId::new(2)]);
         assert!(!e.is_delete());
-        assert_eq!(e.to_string(), "insert(deg 2)");
+        assert_eq!(e.to_string(), "insert(n1 n2)");
+        let wide = NetworkEvent::insert((0..9).map(NodeId::new));
+        assert_eq!(wide.to_string(), "insert(deg 9)");
         let d = NetworkEvent::delete(NodeId::new(7));
         assert!(d.is_delete());
         assert_eq!(d.to_string(), "delete(n7)");

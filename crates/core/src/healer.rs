@@ -1,11 +1,20 @@
 //! The [`SelfHealer`] abstraction: anything that maintains a network under
 //! adversarial insertions and deletions.
 //!
-//! The Forgiving Graph, the Forgiving Tree, and the naive healing
-//! baselines all implement this trait, so adversaries (`fg-adversary`) and
-//! measurements (`fg-metrics`) can be written once and compared head to
-//! head — which is how the E4/E5/E9 experiments are built.
+//! The Forgiving Graph, the distributed protocol (`fg_dist::DistHealer`),
+//! the Forgiving Tree, and the naive healing baselines all implement this
+//! trait, so adversaries (`fg-adversary`), measurements (`fg-metrics`)
+//! and workloads (`fg-bench`) can be written once and compared head to
+//! head — which is how the E4/E5/E9 experiments and the differential
+//! suite are built.
+//!
+//! Every operation returns a typed outcome (see [`crate::api`]): inserts
+//! yield [`InsertReport`]s, deletes yield [`RepairReport`]s, and batches
+//! yield [`BatchReport`]s with aggregate envelope accounting. The
+//! `*_observed` variants additionally stream [`HealerObserver`]
+//! callbacks, so telemetry never needs to re-traverse the graph.
 
+use crate::api::{BatchReport, HealOutcome, HealerObserver, InsertReport, RepairReport};
 use crate::error::EngineError;
 use crate::event::NetworkEvent;
 use fg_graph::{Graph, NodeId};
@@ -21,20 +30,22 @@ pub trait SelfHealer {
     /// Short human-readable strategy name (used in experiment tables).
     fn name(&self) -> &'static str;
 
-    /// Adversarially inserts a node attached to `neighbors`.
+    /// Adversarially inserts a node attached to `neighbors`, reporting
+    /// what was attached.
     ///
     /// # Errors
     ///
     /// Implementations reject empty, duplicate or dead neighbour lists
     /// with [`EngineError`].
-    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError>;
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<InsertReport, EngineError>;
 
-    /// Adversarially deletes `v`, then runs this strategy's repair.
+    /// Adversarially deletes `v`, runs this strategy's repair, and
+    /// reports what the repair did.
     ///
     /// # Errors
     ///
     /// [`EngineError::NotAlive`] if `v` is unknown or already deleted.
-    fn delete(&mut self, v: NodeId) -> Result<(), EngineError>;
+    fn delete(&mut self, v: NodeId) -> Result<RepairReport, EngineError>;
 
     /// The current healed network.
     fn image(&self) -> &Graph;
@@ -47,36 +58,134 @@ pub trait SelfHealer {
         self.image().contains(v)
     }
 
-    /// Applies one adversarial event.
+    /// [`SelfHealer::insert`] with streaming instrumentation.
+    ///
+    /// The default fires `on_insert` with the finished report; healers
+    /// that track edge-level changes (the engine, the distributed
+    /// protocol) override it to also stream `on_repair_edge` per
+    /// attachment.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealer::insert`].
+    fn insert_observed(
+        &mut self,
+        neighbors: &[NodeId],
+        obs: &mut dyn HealerObserver,
+    ) -> Result<InsertReport, EngineError> {
+        let report = self.insert(neighbors)?;
+        obs.on_insert(&report);
+        Ok(report)
+    }
+
+    /// [`SelfHealer::delete`] with streaming instrumentation.
+    ///
+    /// The default fires `on_delete` with the finished report; healers
+    /// that track edge-level changes override it to also stream
+    /// `on_repair_edge` per image edge unit the repair touches.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealer::delete`].
+    fn delete_observed(
+        &mut self,
+        v: NodeId,
+        obs: &mut dyn HealerObserver,
+    ) -> Result<RepairReport, EngineError> {
+        let report = self.delete(v)?;
+        obs.on_delete(&report);
+        Ok(report)
+    }
+
+    /// Applies one adversarial event, returning its typed outcome.
     ///
     /// # Errors
     ///
     /// Propagates the underlying insert/delete error.
-    fn apply_event(&mut self, event: &NetworkEvent) -> Result<(), EngineError> {
+    fn apply_event(&mut self, event: &NetworkEvent) -> Result<HealOutcome, EngineError> {
         match event {
             NetworkEvent::Insert { neighbors } => {
-                self.insert(neighbors)?;
-                Ok(())
+                self.insert(neighbors).map(|report| HealOutcome::Inserted {
+                    node: report.node,
+                    report,
+                })
             }
-            NetworkEvent::Delete { node } => self.delete(*node),
+            NetworkEvent::Delete { node } => self
+                .delete(*node)
+                .map(|report| HealOutcome::Repaired { report }),
         }
     }
 
-    /// Ingests a batch of adversarial events, stopping at the first error.
+    /// [`SelfHealer::apply_event`] with streaming instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying insert/delete error.
+    fn apply_event_observed(
+        &mut self,
+        event: &NetworkEvent,
+        obs: &mut dyn HealerObserver,
+    ) -> Result<HealOutcome, EngineError> {
+        match event {
+            NetworkEvent::Insert { neighbors } => {
+                self.insert_observed(neighbors, obs)
+                    .map(|report| HealOutcome::Inserted {
+                        node: report.node,
+                        report,
+                    })
+            }
+            NetworkEvent::Delete { node } => self
+                .delete_observed(*node, obs)
+                .map(|report| HealOutcome::Repaired { report }),
+        }
+    }
+
+    /// Ingests a batch of adversarial events, stopping at the first
+    /// error, and returns the per-op outcomes plus aggregates.
     ///
     /// The default implementation applies events one by one; healers with
     /// cheaper bulk paths (deferred index rebuilds, amortised allocation)
     /// may override it. The `fg-bench` ScenarioRunner feeds workloads
-    /// through this entry point.
+    /// through this entry point with observers off, so it stays on the
+    /// unobserved fast path.
     ///
     /// # Errors
     ///
-    /// Propagates the first event's error; earlier events stay applied.
-    fn apply_batch(&mut self, events: &[NetworkEvent]) -> Result<(), EngineError> {
-        for event in events {
-            self.apply_event(event)?;
+    /// The first failing event's error, wrapped as
+    /// [`EngineError::AtEvent`] with its batch index; earlier events stay
+    /// applied.
+    fn apply_batch(&mut self, events: &[NetworkEvent]) -> Result<BatchReport, EngineError> {
+        let mut batch = BatchReport::new();
+        for (index, event) in events.iter().enumerate() {
+            let outcome = self
+                .apply_event(event)
+                .map_err(|source| crate::api::at_event(index, event, source))?;
+            batch.push(outcome);
         }
-        Ok(())
+        Ok(batch)
+    }
+
+    /// [`SelfHealer::apply_batch`] with streaming instrumentation:
+    /// per-op and per-edge callbacks fire as the batch runs, and
+    /// `on_batch_end` fires with the returned report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SelfHealer::apply_batch`].
+    fn apply_batch_observed(
+        &mut self,
+        events: &[NetworkEvent],
+        obs: &mut dyn HealerObserver,
+    ) -> Result<BatchReport, EngineError> {
+        let mut batch = BatchReport::new();
+        for (index, event) in events.iter().enumerate() {
+            let outcome = self
+                .apply_event_observed(event, obs)
+                .map_err(|source| crate::api::at_event(index, event, source))?;
+            batch.push(outcome);
+        }
+        obs.on_batch_end(&batch);
+        Ok(batch)
     }
 }
 
@@ -85,12 +194,32 @@ impl SelfHealer for crate::ForgivingGraph {
         "forgiving-graph"
     }
 
-    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
-        crate::ForgivingGraph::insert(self, neighbors)
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<InsertReport, EngineError> {
+        self.insert_with(neighbors, &mut crate::api::NoopObserver)
     }
 
-    fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
-        crate::ForgivingGraph::delete(self, v).map(|_| ())
+    fn delete(&mut self, v: NodeId) -> Result<RepairReport, EngineError> {
+        crate::ForgivingGraph::delete(self, v)
+    }
+
+    fn insert_observed(
+        &mut self,
+        neighbors: &[NodeId],
+        obs: &mut dyn HealerObserver,
+    ) -> Result<InsertReport, EngineError> {
+        let report = self.insert_with(neighbors, obs)?;
+        obs.on_insert(&report);
+        Ok(report)
+    }
+
+    fn delete_observed(
+        &mut self,
+        v: NodeId,
+        obs: &mut dyn HealerObserver,
+    ) -> Result<RepairReport, EngineError> {
+        let report = self.delete_with(v, obs)?;
+        obs.on_delete(&report);
+        Ok(report)
     }
 
     fn image(&self) -> &Graph {
@@ -117,15 +246,98 @@ mod tests {
         let mut fg = ForgivingGraph::from_graph(&generators::star(5)).unwrap();
         let healer: &mut dyn SelfHealer = &mut fg;
         assert_eq!(healer.name(), "forgiving-graph");
-        healer
+        let outcome = healer
             .apply_event(&NetworkEvent::delete(NodeId::new(0)))
             .unwrap();
+        let report = outcome.repair().expect("deletion yields a repair");
+        assert_eq!(report.ghost_degree, 4);
+        assert_eq!(report.alive_neighbors, 4);
         assert!(!healer.is_alive(NodeId::new(0)));
         assert_eq!(healer.image().node_count(), 4);
         assert_eq!(healer.ghost().node_count(), 5);
-        healer
+        let outcome = healer
             .apply_event(&NetworkEvent::insert([NodeId::new(1)]))
             .unwrap();
+        assert_eq!(outcome.node(), Some(NodeId::new(5)));
         assert_eq!(healer.image().node_count(), 5);
+    }
+
+    #[test]
+    fn batch_reports_aggregate_and_pinpoint_errors() {
+        let mut fg = ForgivingGraph::from_graph(&generators::star(6)).unwrap();
+        let batch = fg
+            .apply_batch(&[
+                NetworkEvent::insert([NodeId::new(1)]),
+                NetworkEvent::delete(NodeId::new(0)),
+            ])
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.inserts, 1);
+        assert_eq!(batch.deletes, 1);
+        assert!(batch.edges_added >= 1);
+
+        // The second delete of node 0 fails; the error carries index 1.
+        let err = fg
+            .apply_batch(&[
+                NetworkEvent::insert([NodeId::new(1)]),
+                NetworkEvent::delete(NodeId::new(0)),
+            ])
+            .unwrap_err();
+        match err {
+            EngineError::AtEvent { index, source, .. } => {
+                assert_eq!(index, 1);
+                assert_eq!(*source, EngineError::NotAlive(NodeId::new(0)));
+            }
+            other => panic!("expected AtEvent, got {other:?}"),
+        }
+        // The insert before the failure stayed applied.
+        assert_eq!(fg.ghost().node_count(), 8);
+    }
+
+    #[test]
+    fn observed_batch_streams_consistent_callbacks() {
+        #[derive(Default)]
+        struct Probe {
+            inserts: usize,
+            deletes: usize,
+            added: u64,
+            dropped: u64,
+            batch_ends: usize,
+        }
+        impl HealerObserver for Probe {
+            fn on_insert(&mut self, _report: &InsertReport) {
+                self.inserts += 1;
+            }
+            fn on_delete(&mut self, _report: &RepairReport) {
+                self.deletes += 1;
+            }
+            fn on_repair_edge(&mut self, _u: NodeId, _v: NodeId, added: bool) {
+                if added {
+                    self.added += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            fn on_batch_end(&mut self, _report: &BatchReport) {
+                self.batch_ends += 1;
+            }
+        }
+
+        let mut fg = ForgivingGraph::from_graph(&generators::star(8)).unwrap();
+        let mut probe = Probe::default();
+        let batch = fg
+            .apply_batch_observed(
+                &[
+                    NetworkEvent::insert([NodeId::new(1), NodeId::new(2)]),
+                    NetworkEvent::delete(NodeId::new(0)),
+                ],
+                &mut probe,
+            )
+            .unwrap();
+        assert_eq!(probe.inserts, 1);
+        assert_eq!(probe.deletes, 1);
+        assert_eq!(probe.batch_ends, 1);
+        assert_eq!(probe.added, batch.edges_added);
+        assert_eq!(probe.dropped, batch.edges_dropped);
     }
 }

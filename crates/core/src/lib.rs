@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 mod engine;
 mod error;
 mod event;
@@ -49,6 +50,7 @@ pub mod plan;
 mod slot;
 mod stats;
 
+pub use api::{BatchReport, HealOutcome, HealerObserver, InsertReport, NoopObserver, RepairReport};
 pub use engine::{ForgivingGraph, PlacementPolicy};
 pub use error::EngineError;
 pub use event::NetworkEvent;
@@ -56,4 +58,4 @@ pub use forest::{Forest, VNode};
 pub use healer::SelfHealer;
 pub use image::ImageGraph;
 pub use slot::{Slot, VKey, VKind};
-pub use stats::{EngineStats, RepairReport};
+pub use stats::EngineStats;

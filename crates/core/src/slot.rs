@@ -107,7 +107,7 @@ impl VKey {
         self.slot.owner
     }
 
-    /// The per-owner part of the key (see [`LocalKey`]).
+    /// The per-owner part of the key (see `LocalKey`).
     pub fn local(self) -> LocalKey {
         (self.slot.other, self.kind)
     }

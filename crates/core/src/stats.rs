@@ -1,6 +1,9 @@
-//! Lifetime counters and per-repair reports.
+//! Lifetime counters over the engine's whole history.
+//!
+//! Per-operation reports live in [`crate::api`]; this module keeps the
+//! cumulative view ([`EngineStats`]) used by experiments that track a
+//! network over its lifetime rather than per event.
 
-use fg_graph::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// Cumulative counters over the engine's lifetime.
@@ -18,6 +21,12 @@ pub struct EngineStats {
     pub leaves_created: u64,
     /// Leaf nodes removed (when their owner was deleted).
     pub leaves_removed: u64,
+    /// Image edge units added over the lifetime (adversarial attachments
+    /// plus helper-join edges).
+    pub edges_added: u64,
+    /// Image edge units dropped over the lifetime (original releases plus
+    /// every detached tree edge).
+    pub edges_dropped: u64,
     /// Times the cached representative was stale and a scan was needed.
     /// The paper's invariants say this stays 0; the engine self-heals and
     /// counts if it ever happens.
@@ -26,71 +35,16 @@ pub struct EngineStats {
     pub btv_rounds: u64,
 }
 
-/// What one deletion repair did — the observable quantities behind
-/// Theorem 1's cost claims, as seen by the sequential reference engine.
-/// (Message-level costs come from `fg-dist`.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RepairReport {
-    /// The deleted node.
-    pub deleted: NodeId,
-    /// Its degree in `G'` at deletion time — the paper's `d`.
-    pub ghost_degree: usize,
-    /// How many of its neighbours were still alive.
-    pub alive_neighbors: usize,
-    /// Fragments (RTs and RT-fragments) that joined `BT_v`.
-    pub fragments: usize,
-    /// Complete trees collected across all fragments.
-    pub trees_collected: usize,
-    /// Helpers created during the merge.
-    pub helpers_created: u64,
-    /// Helpers freed (red + stripped spine).
-    pub helpers_freed: u64,
-    /// New leaves (one per alive neighbour).
-    pub leaves_created: u64,
-    /// Leaves removed (the victim's own endpoints).
-    pub leaves_removed: u64,
-    /// Bottom-up merge rounds (the height of `BT_v`).
-    pub btv_rounds: u32,
-    /// Leaf count of the final reconstruction tree (0 if none was needed).
-    pub rt_leaves: u32,
-    /// Depth of the final reconstruction tree.
-    pub rt_depth: u32,
-}
-
-impl RepairReport {
-    /// Upper envelope for virtual-node churn from Theorem 1.3:
-    /// `O(d log n)` where `d` is the victim's `G'` degree.
-    pub fn churn(&self) -> u64 {
-        self.helpers_created + self.helpers_freed + self.leaves_created + self.leaves_removed
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn churn_sums_all_virtual_node_traffic() {
-        let r = RepairReport {
-            deleted: NodeId::new(0),
-            ghost_degree: 4,
-            alive_neighbors: 3,
-            fragments: 3,
-            trees_collected: 3,
-            helpers_created: 2,
-            helpers_freed: 1,
-            leaves_created: 3,
-            leaves_removed: 1,
-            btv_rounds: 2,
-            rt_leaves: 3,
-            rt_depth: 2,
-        };
-        assert_eq!(r.churn(), 7);
-    }
-
-    #[test]
     fn stats_default_is_zero() {
         let s = EngineStats::default();
-        assert_eq!(s.inserts + s.deletes + s.helpers_created, 0);
+        assert_eq!(
+            s.inserts + s.deletes + s.helpers_created + s.edges_added + s.edges_dropped,
+            0
+        );
     }
 }

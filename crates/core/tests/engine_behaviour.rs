@@ -98,7 +98,7 @@ fn deleting_two_adjacent_hubs_merges_their_trees() {
         }
     }
     let mut fg = ForgivingGraph::from_graph(&g).unwrap();
-    fg.delete(n(0)).unwrap();
+    let _ = fg.delete(n(0)).unwrap();
     assert_contract(&fg, 3.0);
     let report = fg.delete(n(1)).unwrap();
     // The second deletion removes n1's leaf from RT(n0) and merges that
@@ -124,7 +124,7 @@ fn cascade_delete_entire_graph() {
         let mut fg = ForgivingGraph::from_graph(&g).unwrap();
         let total = g.node_count() as u32;
         for v in 0..total {
-            fg.delete(n(v)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let _ = fg.delete(n(v)).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_contract(&fg, 4.0);
         }
         assert_eq!(fg.alive_count(), 0, "{name}");
@@ -136,9 +136,9 @@ fn cascade_delete_entire_graph() {
 fn reverse_cascade_on_star_keeps_invariants() {
     // Deleting leaves first shrinks RTs instead of growing them.
     let mut fg = ForgivingGraph::from_graph(&generators::star(10)).unwrap();
-    fg.delete(n(0)).unwrap(); // hub first: big RT
+    let _ = fg.delete(n(0)).unwrap(); // hub first: big RT
     for v in 1..10 {
-        fg.delete(n(v)).unwrap();
+        let _ = fg.delete(n(v)).unwrap();
         assert_contract(&fg, 3.0);
     }
     assert_eq!(fg.forest_len(), 0);
@@ -151,15 +151,15 @@ fn insertions_then_deletions_interleaved() {
     let v = fg.insert(&[n(0), n(3)]).unwrap();
     assert_eq!(v, n(6));
     assert_eq!(fg.ghost().degree(v), 2);
-    fg.delete(n(0)).unwrap();
+    let _ = fg.delete(n(0)).unwrap();
     assert_contract(&fg, 3.0);
-    fg.delete(n(3)).unwrap();
+    let _ = fg.delete(n(3)).unwrap();
     assert_contract(&fg, 3.0);
     // The inserted node must stay connected through reconstruction trees.
     assert!(traversal::is_connected(fg.image()));
     // Insert attached to a node whose neighbourhood is fully healed.
     let w = fg.insert(&[v, n(1)]).unwrap();
-    fg.delete(v).unwrap();
+    let _ = fg.delete(v).unwrap();
     assert_contract(&fg, 3.0);
     assert!(fg.is_alive(w));
 }
@@ -173,7 +173,7 @@ fn insert_errors() {
         Err(EngineError::DuplicateNeighbour(n(1)))
     );
     assert_eq!(fg.insert(&[n(9)]), Err(EngineError::NotAlive(n(9))));
-    fg.delete(n(2)).unwrap();
+    let _ = fg.delete(n(2)).unwrap();
     assert_eq!(fg.insert(&[n(2)]), Err(EngineError::NotAlive(n(2))));
 }
 
@@ -181,7 +181,7 @@ fn insert_errors() {
 fn delete_errors() {
     let mut fg = ForgivingGraph::from_graph(&generators::path(3)).unwrap();
     assert_eq!(fg.delete(n(7)), Err(EngineError::NotAlive(n(7))));
-    fg.delete(n(1)).unwrap();
+    let _ = fg.delete(n(1)).unwrap();
     assert_eq!(fg.delete(n(1)), Err(EngineError::NotAlive(n(1))));
 }
 
@@ -220,7 +220,7 @@ fn random_churn_mixed_inserts_and_deletes() {
         let alive: Vec<NodeId> = fg.image().iter().collect();
         if alive.len() > 2 && rng.gen_bool(0.55) {
             let v = alive[rng.gen_range(0..alive.len())];
-            fg.delete(v).unwrap();
+            let _ = fg.delete(v).unwrap();
         } else {
             let k = rng.gen_range(1..=3.min(alive.len()));
             let mut nbrs = alive.clone();
@@ -243,7 +243,7 @@ fn paper_exact_policy_stays_within_hard_envelope() {
     let mut fg =
         ForgivingGraph::from_graph_with_policy(&generators::star(17), PlacementPolicy::PaperExact)
             .unwrap();
-    fg.delete(n(0)).unwrap();
+    let _ = fg.delete(n(0)).unwrap();
     fg.check_invariants().unwrap();
     let ratio = fg.max_degree_ratio();
     assert!(ratio <= 4.0, "hard envelope: {ratio}");
@@ -266,7 +266,7 @@ fn adjacent_policy_degree_thresholds() {
         (64, 4.0),
     ] {
         let mut fg = ForgivingGraph::from_graph(&generators::star(size)).unwrap();
-        fg.delete(n(0)).unwrap();
+        let _ = fg.delete(n(0)).unwrap();
         let ratio = fg.max_degree_ratio();
         assert!(
             ratio <= cap,
@@ -278,7 +278,7 @@ fn adjacent_policy_degree_thresholds() {
     let mut fg =
         ForgivingGraph::from_graph_with_policy(&generators::star(16), PlacementPolicy::PaperExact)
             .unwrap();
-    fg.delete(n(0)).unwrap();
+    let _ = fg.delete(n(0)).unwrap();
     assert!(fg.max_degree_ratio() > 3.0);
 }
 
@@ -298,10 +298,10 @@ fn rt_depth_obeys_lemma_1() {
 fn determinism_same_events_same_state() {
     let build = || {
         let mut fg = ForgivingGraph::from_graph(&generators::grid(4, 4)).unwrap();
-        fg.delete(n(5)).unwrap();
+        let _ = fg.delete(n(5)).unwrap();
         fg.insert(&[n(0), n(15)]).unwrap();
-        fg.delete(n(10)).unwrap();
-        fg.delete(n(6)).unwrap();
+        let _ = fg.delete(n(10)).unwrap();
+        let _ = fg.delete(n(6)).unwrap();
         fg
     };
     let a = build();
@@ -313,7 +313,7 @@ fn determinism_same_events_same_state() {
 fn ghost_is_append_only() {
     let mut fg = ForgivingGraph::from_graph(&generators::path(4)).unwrap();
     let ghost_edges_before = fg.ghost().edge_count();
-    fg.delete(n(1)).unwrap();
+    let _ = fg.delete(n(1)).unwrap();
     assert_eq!(fg.ghost().edge_count(), ghost_edges_before);
     assert_eq!(fg.ghost().degree(n(1)), 2, "G' never forgets");
     assert!(fg.ghost().contains(n(1)), "ghost keeps deleted nodes");
@@ -335,7 +335,7 @@ fn isolated_node_deletion_is_a_noop_repair() {
 #[test]
 fn multiplicity_view_matches_simple_view() {
     let mut fg = ForgivingGraph::from_graph(&generators::star(6)).unwrap();
-    fg.delete(n(0)).unwrap();
+    let _ = fg.delete(n(0)).unwrap();
     for u in fg.image().iter() {
         let simple = fg.image().degree(u) as u32;
         let multi = fg.multi_degree(u);

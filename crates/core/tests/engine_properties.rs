@@ -27,7 +27,7 @@ fn run_schedule(
         }
         if byte & 1 == 0 {
             let victim = alive[(byte as usize / 2) % alive.len()];
-            fg.delete(victim).unwrap();
+            let _ = fg.delete(victim).unwrap();
         } else {
             let fan = 1 + (byte as usize / 2) % 3.min(alive.len());
             let start = (byte as usize) % alive.len();
@@ -108,7 +108,7 @@ proptest! {
         let rot = (seed as usize) % 14;
         order.rotate_left(rot);
         for v in order {
-            fg.delete(NodeId::new(v)).unwrap();
+            let _ = fg.delete(NodeId::new(v)).unwrap();
             fg.check_invariants().unwrap();
         }
         prop_assert_eq!(fg.alive_count(), 0);
@@ -155,7 +155,7 @@ proptest! {
                 .collect();
             if byte & 1 == 0 {
                 let victim = alive[(byte as usize / 2) % alive.len()];
-                fg.delete(victim).unwrap();
+                let _ = fg.delete(victim).unwrap();
             } else {
                 let nbr = alive[(byte as usize / 2) % alive.len()];
                 fg.insert(&[nbr]).unwrap();

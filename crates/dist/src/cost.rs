@@ -2,11 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
-/// `⌈log₂ n⌉`, floored at 1 — the bit cost of one node name.
-pub(crate) fn ceil_log2(n: usize) -> u64 {
-    let n = n.max(2);
-    u64::from((usize::BITS - (n - 1).leading_zeros()).max(1))
-}
+/// `⌈log₂ n⌉`, floored at 1 — the bit cost of one node name (the shared
+/// definition from `fg_core::api`).
+pub(crate) use fg_core::api::ceil_log2;
 
 /// What one deletion repair cost the message-passing protocol — the
 /// observable quantities of Lemma 4 (Hayes–Saia–Trehan, arXiv:0902.2501):

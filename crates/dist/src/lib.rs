@@ -51,9 +51,11 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod healer;
 mod message;
 mod network;
 mod processor;
 
 pub use cost::RepairCost;
+pub use healer::DistHealer;
 pub use network::Network;

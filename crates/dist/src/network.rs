@@ -3,18 +3,21 @@
 //! (`G'`, the image, liveness) that measurements read.
 
 use fg_core::plan::WireTree;
-use fg_core::{EngineError, ImageGraph, PlacementPolicy, SelfHealer, Slot, VKey};
+use fg_core::{
+    EngineError, HealerObserver, ImageGraph, InsertReport, NoopObserver, PlacementPolicy,
+    RepairReport, Slot, VKey,
+};
 use fg_graph::{Graph, NodeId, SortedMap, SortedSet};
 
 use crate::cost::{ceil_log2, RepairCost};
 use crate::message::Message;
-use crate::processor::{Ctx, Processor, Shared, VLinks};
+use crate::processor::{Ctx, Processor, RepairTally, Shared, VLinks};
 
 /// A self-healing network running the Forgiving Graph's repair as a
 /// message-passing protocol (paper §4 / Lemma 4).
 ///
 /// Protocol state — the reconstruction forest — lives in per-node actors
-/// ([`Processor`]s) that only communicate through typed messages delivered
+/// (`Processor`s) that only communicate through typed messages delivered
 /// in synchronous rounds. The `Network` itself holds the materialized
 /// global observables (the ghost graph `G'`, the healed image, liveness)
 /// exactly as the sequential engine does, so the two implementations can
@@ -154,6 +157,22 @@ impl Network {
     /// Mirrors the engine: [`EngineError::EmptyNeighbourhood`],
     /// [`EngineError::DuplicateNeighbour`], [`EngineError::NotAlive`].
     pub fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
+        self.insert_with(neighbors, &mut NoopObserver)
+            .map(|report| report.node)
+    }
+
+    /// [`Network::insert`] with streaming instrumentation: `obs` receives
+    /// one `on_repair_edge(v, x, true)` per attachment, and the returned
+    /// [`InsertReport`] is identical to the sequential engine's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::insert`].
+    pub fn insert_with(
+        &mut self,
+        neighbors: &[NodeId],
+        obs: &mut dyn HealerObserver,
+    ) -> Result<InsertReport, EngineError> {
         if neighbors.is_empty() {
             return Err(EngineError::EmptyNeighbourhood);
         }
@@ -174,8 +193,13 @@ impl Network {
         for &x in neighbors {
             self.ghost.add_edge(v, x).expect("fresh node, fresh edges");
             self.image.inc(v, x);
+            obs.on_repair_edge(v, x, true);
         }
-        Ok(v)
+        Ok(InsertReport {
+            node: v,
+            neighbors: neighbors.len(),
+            edges_added: neighbors.len() as u64,
+        })
     }
 
     /// Adversarially deletes `v` and runs the repair protocol to
@@ -193,9 +217,40 @@ impl Network {
     ///
     /// [`EngineError::NotAlive`] if `v` is unknown or already deleted.
     pub fn delete(&mut self, v: NodeId) -> Result<RepairCost, EngineError> {
+        self.delete_inner(v, &mut NoopObserver)
+            .map(|(_, cost)| cost)
+    }
+
+    /// [`Network::delete`] returning the structural [`RepairReport`]
+    /// instead of the Lemma 4 [`RepairCost`] (which is still pushed onto
+    /// [`Network::repair_costs`]), with streaming instrumentation: `obs`
+    /// receives one `on_repair_edge` per image edge unit the protocol
+    /// adds or drops.
+    ///
+    /// Every report field is a structural quantity of the repair, so this
+    /// report is bit-identical to the sequential engine's for the same
+    /// event on the same state — the differential suite asserts it.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotAlive`] if `v` is unknown or already deleted.
+    pub fn delete_with(
+        &mut self,
+        v: NodeId,
+        obs: &mut dyn HealerObserver,
+    ) -> Result<RepairReport, EngineError> {
+        self.delete_inner(v, obs).map(|(report, _)| report)
+    }
+
+    fn delete_inner(
+        &mut self,
+        v: NodeId,
+        obs: &mut dyn HealerObserver,
+    ) -> Result<(RepairReport, RepairCost), EngineError> {
         if !self.is_alive(v) {
             return Err(EngineError::NotAlive(v));
         }
+        let mut tally = RepairTally::default();
         let victim_degree = self.ghost.degree(v);
         let nodes_ever = self.ghost.nodes_ever();
         let name_bits = ceil_log2(nodes_ever);
@@ -260,9 +315,15 @@ impl Network {
 
         // The victim's processor vanishes; internal tree edges between two
         // of its own virtual nodes collapse to self-loops nobody else can
-        // release, so the simulator settles them here.
+        // release, so the simulator settles them here. The victim's own
+        // virtual nodes (leaves and helpers) are what the will removes.
         let mut victim_internal = 0u32;
-        for (_, links) in shared.removed.iter() {
+        for (key, links) in shared.removed.iter() {
+            if key.is_real() {
+                tally.leaves_removed += 1;
+            } else {
+                tally.helpers_freed += 1;
+            }
             for child in links.left.iter().chain(links.right.iter()) {
                 if shared.removed.contains_key(child) {
                     victim_internal += 1;
@@ -273,6 +334,8 @@ impl Network {
         self.procs[v.index()].end_repair();
         for _ in 0..victim_internal {
             self.image.dec(v, v);
+            tally.edges_dropped += 1;
+            obs.on_repair_edge(v, v, false);
         }
 
         // Detection round: every image neighbour processes the will.
@@ -288,6 +351,8 @@ impl Network {
                     outbox: &mut outbox,
                     image: &mut self.image,
                     btv_root: &mut btv_root,
+                    tally: &mut tally,
+                    obs: &mut *obs,
                 },
             );
             Self::tally(&outbox, name_bits, &mut cost);
@@ -295,25 +360,75 @@ impl Network {
         }
 
         // Phase 1 — taint climbs to the affected roots.
-        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+        self.run_rounds(
+            queue,
+            &shared,
+            &mut btv_root,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            obs,
+        );
 
         // Phase 2 — the shatter walk from every fragment seed.
-        let queue = self.trigger(&shared, &mut btv_root, name_bits, &mut cost, |p, s, c| {
-            p.start_walks(s, c)
-        });
-        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+        let queue = self.trigger(
+            &shared,
+            &mut btv_root,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            obs,
+            |p, s, c| p.start_walks(s, c),
+        );
+        self.run_rounds(
+            queue,
+            &shared,
+            &mut btv_root,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            obs,
+        );
 
         // Phase 3 — buckets travel to each fragment's smallest anchor.
-        let queue = self.trigger(&shared, &mut btv_root, name_bits, &mut cost, |p, _, c| {
-            p.route_buckets(c)
-        });
-        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+        let queue = self.trigger(
+            &shared,
+            &mut btv_root,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            obs,
+            |p, _, c| p.route_buckets(c),
+        );
+        self.run_rounds(
+            queue,
+            &shared,
+            &mut btv_root,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            obs,
+        );
 
         // Phase 4 — bottom-up BT_v merge to a single reconstruction tree.
-        let queue = self.trigger(&shared, &mut btv_root, name_bits, &mut cost, |p, s, c| {
-            p.start_merges(s, c)
-        });
-        self.run_rounds(queue, &shared, &mut btv_root, name_bits, &mut cost);
+        let queue = self.trigger(
+            &shared,
+            &mut btv_root,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            obs,
+            |p, s, c| p.start_merges(s, c),
+        );
+        self.run_rounds(
+            queue,
+            &shared,
+            &mut btv_root,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            obs,
+        );
 
         // Quiesced: the victim is fully detached. Repair scratch is
         // cleared everywhere — the taint climb, strips and plan execution
@@ -322,18 +437,62 @@ impl Network {
         for p in &mut self.procs {
             p.end_repair();
         }
+
+        // The structural report — field for field what the sequential
+        // engine computes from its own stats deltas, derived here from the
+        // tally, the will, and the final `BT_v` output.
+        let anchor_count = shared.anchors.len();
+        let btv_rounds = if anchor_count == 0 {
+            0
+        } else {
+            usize::BITS - 1 - anchor_count.leading_zeros()
+        };
+        let (rt_leaves, rt_depth) = match &btv_root {
+            Some(wt) => (wt.size, wt.height),
+            None => (0, 0),
+        };
+        let affected_nodes = {
+            let mut owners = SortedSet::new();
+            for a in &shared.anchors {
+                owners.insert(a.owner());
+            }
+            owners.len()
+        };
+        let report = RepairReport {
+            deleted: v,
+            ghost_degree: victim_degree,
+            alive_neighbors: shared.alive_nbrs.len(),
+            nodes_ever,
+            fragments: tally.fragments,
+            trees_collected: tally.trees_collected,
+            will_entries: shared.removed.len(),
+            buckets: tally.buckets,
+            affected_nodes,
+            edges_added: tally.edges_added,
+            edges_dropped: tally.edges_dropped,
+            helpers_created: tally.helpers_created,
+            helpers_freed: tally.helpers_freed,
+            leaves_created: tally.leaves_created,
+            leaves_removed: tally.leaves_removed,
+            btv_rounds,
+            rt_leaves,
+            rt_depth,
+        };
         self.repair_costs.push(cost.clone());
-        Ok(cost)
+        Ok((report, cost))
     }
 
     /// Runs one local step at every processor (a phase kickoff), returning
     /// the emitted messages. Counts as one synchronous round.
+    #[allow(clippy::too_many_arguments)]
     fn trigger<F>(
         &mut self,
         shared: &Shared,
         btv_root: &mut Option<WireTree>,
         name_bits: u64,
         cost: &mut RepairCost,
+        repair_tally: &mut RepairTally,
+        obs: &mut dyn HealerObserver,
         mut step: F,
     ) -> Vec<Message>
     where
@@ -350,6 +509,8 @@ impl Network {
                     outbox: &mut outbox,
                     image: &mut self.image,
                     btv_root,
+                    tally: repair_tally,
+                    obs: &mut *obs,
                 },
             );
             Self::tally(&outbox, name_bits, cost);
@@ -359,6 +520,7 @@ impl Network {
     }
 
     /// Delivers messages round by round until the network quiesces.
+    #[allow(clippy::too_many_arguments)]
     fn run_rounds(
         &mut self,
         mut queue: Vec<Message>,
@@ -366,6 +528,8 @@ impl Network {
         btv_root: &mut Option<WireTree>,
         name_bits: u64,
         cost: &mut RepairCost,
+        repair_tally: &mut RepairTally,
+        obs: &mut dyn HealerObserver,
     ) {
         while !queue.is_empty() {
             cost.rounds += 1;
@@ -380,6 +544,8 @@ impl Network {
                         outbox: &mut outbox,
                         image: &mut self.image,
                         btv_root,
+                        tally: repair_tally,
+                        obs,
                     },
                 );
             }
@@ -400,32 +566,6 @@ impl Network {
             cost.bits += bits;
             cost.max_message_bits = cost.max_message_bits.max(bits);
         }
-    }
-}
-
-impl SelfHealer for Network {
-    fn name(&self) -> &'static str {
-        "fg-dist"
-    }
-
-    fn insert(&mut self, neighbors: &[NodeId]) -> Result<NodeId, EngineError> {
-        Network::insert(self, neighbors)
-    }
-
-    fn delete(&mut self, v: NodeId) -> Result<(), EngineError> {
-        Network::delete(self, v).map(|_| ())
-    }
-
-    fn image(&self) -> &Graph {
-        Network::image(self)
-    }
-
-    fn ghost(&self) -> &Graph {
-        Network::ghost(self)
-    }
-
-    fn is_alive(&self, v: NodeId) -> bool {
-        Network::is_alive(self, v)
     }
 }
 
@@ -460,7 +600,7 @@ mod tests {
         let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
         let mut fg = ForgivingGraph::from_graph(&g).unwrap();
         let cost = net.delete(n(0)).unwrap();
-        fg.delete(n(0)).unwrap();
+        let _ = fg.delete(n(0)).unwrap();
         assert_lockstep(&net, &fg);
         assert!(traversal::is_connected(net.image()));
         assert_eq!(cost.victim_degree, 8);
@@ -475,7 +615,7 @@ mod tests {
         let mut fg = ForgivingGraph::from_graph(&g).unwrap();
         for i in 0..16u32 {
             net.delete(n(i)).unwrap();
-            fg.delete(n(i)).unwrap();
+            let _ = fg.delete(n(i)).unwrap();
             assert_lockstep(&net, &fg);
         }
         assert_eq!(net.alive_count(), 0);
@@ -490,7 +630,7 @@ mod tests {
             ForgivingGraph::from_graph_with_policy(&g, PlacementPolicy::PaperExact).unwrap();
         for i in [0u32, 3, 7, 11, 2, 15, 9] {
             net.delete(n(i)).unwrap();
-            fg.delete(n(i)).unwrap();
+            let _ = fg.delete(n(i)).unwrap();
             assert_lockstep(&net, &fg);
         }
     }
@@ -504,7 +644,7 @@ mod tests {
         let b = fg.insert(&[n(0), n(3)]).unwrap();
         assert_eq!(a, b);
         net.delete(n(0)).unwrap();
-        fg.delete(n(0)).unwrap();
+        let _ = fg.delete(n(0)).unwrap();
         assert_lockstep(&net, &fg);
         assert_eq!(
             net.insert(&[n(0)]),
@@ -548,12 +688,14 @@ mod tests {
     }
 
     #[test]
-    fn self_healer_surface_works() {
-        let mut net = Network::from_graph(&generators::star(5), PlacementPolicy::Adjacent);
-        let healer: &mut dyn SelfHealer = &mut net;
-        assert_eq!(healer.name(), "fg-dist");
-        healer.delete(n(0)).unwrap();
-        assert!(!healer.is_alive(n(0)));
-        assert_eq!(healer.image().node_count(), 4);
+    fn delete_with_reports_match_engine_reports() {
+        let g = generators::connected_erdos_renyi(18, 0.16, 9);
+        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        for i in [0u32, 4, 9, 2, 13] {
+            let dist_report = net.delete_with(n(i), &mut fg_core::NoopObserver).unwrap();
+            let engine_report = fg.delete(n(i)).unwrap();
+            assert_eq!(dist_report, engine_report, "reports diverged at n{i}");
+        }
     }
 }

@@ -8,10 +8,28 @@
 //! replicated to its image neighbours while alive).
 
 use fg_core::plan::{plan_compute_haft, WireTree};
-use fg_core::{ImageGraph, PlacementPolicy, Slot, VKey};
+use fg_core::{HealerObserver, ImageGraph, PlacementPolicy, Slot, VKey};
 use fg_graph::{NodeId, SortedMap, SortedSet};
 
 use crate::message::{Message, Payload, Target};
+
+/// Structural accounting for one repair, filled in as the protocol runs —
+/// the distributed counterpart of the quantities the sequential engine
+/// reads off its own stats. The simulator aggregates these globally (it
+/// can see every actor); a deployment would fold them into the repair's
+/// existing message flow.
+#[derive(Debug, Default)]
+pub(crate) struct RepairTally {
+    pub fragments: usize,
+    pub trees_collected: usize,
+    pub buckets: usize,
+    pub edges_added: u64,
+    pub edges_dropped: u64,
+    pub helpers_created: u64,
+    pub helpers_freed: u64,
+    pub leaves_created: u64,
+    pub leaves_removed: u64,
+}
 
 /// One virtual node's local record — the distributed counterpart of the
 /// reference engine's forest entry (paper Table 1).
@@ -74,12 +92,31 @@ impl Shared {
 }
 
 /// Mutable per-message environment: outbound messages, the materialized
-/// image (the simulator's global observable), and the slot where the
-/// `BT_v` root deposits the final reconstruction tree.
+/// image (the simulator's global observable), the slot where the `BT_v`
+/// root deposits the final reconstruction tree, the repair's structural
+/// tally, and the streaming observer.
 pub(crate) struct Ctx<'a> {
     pub outbox: &'a mut Vec<Message>,
     pub image: &'a mut ImageGraph,
     pub btv_root: &'a mut Option<WireTree>,
+    pub tally: &'a mut RepairTally,
+    pub obs: &'a mut dyn HealerObserver,
+}
+
+impl Ctx<'_> {
+    /// Adds one image edge unit, tallying and streaming it.
+    fn edge_add(&mut self, u: NodeId, v: NodeId) {
+        self.image.inc(u, v);
+        self.tally.edges_added += 1;
+        self.obs.on_repair_edge(u, v, true);
+    }
+
+    /// Drops one image edge unit, tallying and streaming it.
+    fn edge_drop(&mut self, u: NodeId, v: NodeId) {
+        self.image.dec(u, v);
+        self.tally.edges_dropped += 1;
+        self.obs.on_repair_edge(u, v, false);
+    }
 }
 
 /// A fragment collector at the fragment's seed.
@@ -158,10 +195,11 @@ impl Processor {
         // Original edge (self, victim): release it and plant the fresh leaf
         // that will represent this lost edge in the reconstruction tree.
         if shared.alive_nbrs.contains(&self.id) {
-            ctx.image.dec(self.id, shared.victim);
+            ctx.edge_drop(self.id, shared.victim);
             let slot = Slot::new(self.id, shared.victim);
             let prev = self.vnodes.insert(slot.real(), VState::leaf(slot));
             assert!(prev.is_none(), "fresh leaf {} already exists", slot.real());
+            ctx.tally.leaves_created += 1;
             self.seeds
                 .get_or_insert_with(slot.real(), SeedState::default);
         }
@@ -181,11 +219,11 @@ impl Processor {
                 removed_children += 1;
             }
             for _ in 0..removed_children {
-                ctx.image.dec(self.id, shared.victim);
+                ctx.edge_drop(self.id, shared.victim);
             }
             if parent_removed {
                 self.vnode_mut(key).parent = None;
-                ctx.image.dec(self.id, shared.victim);
+                ctx.edge_drop(self.id, shared.victim);
             }
             if removed_children > 0 {
                 // This node is an ancestor of a removed node: red.
@@ -251,10 +289,11 @@ impl Processor {
         if self.tainted.contains(&key) || !node.is_complete() {
             debug_assert!(key.is_helper(), "leaves are complete and never tainted");
             for child in node.left.into_iter().chain(node.right) {
-                ctx.image.dec(self.id, child.owner());
+                ctx.edge_drop(self.id, child.owner());
                 self.send(ctx, child.owner(), Payload::Detach { key: child, frag });
             }
             self.vnodes.remove(&key);
+            ctx.tally.helpers_freed += 1;
         } else {
             self.send(
                 ctx,
@@ -283,6 +322,8 @@ impl Processor {
             if state.trees.is_empty() {
                 continue;
             }
+            ctx.tally.fragments += 1;
+            ctx.tally.trees_collected += state.trees.len();
             let anchor = *state
                 .anchors
                 .iter()
@@ -316,6 +357,9 @@ impl Processor {
             return;
         }
         duty.merged = true;
+        if !duty.bucket.is_empty() {
+            ctx.tally.buckets += 1;
+        }
         let mut trees = std::mem::take(&mut duty.bucket);
         trees.append(&mut duty.parts);
         let pos = duty.pos;
@@ -433,8 +477,9 @@ impl Processor {
                     },
                 );
                 assert!(prev.is_none(), "helper {key} already exists (Lemma 3.1)");
-                ctx.image.inc(self.id, step.left.owner());
-                ctx.image.inc(self.id, step.right.owner());
+                ctx.tally.helpers_created += 1;
+                ctx.edge_add(self.id, step.left.owner());
+                ctx.edge_add(self.id, step.right.owner());
                 self.send(
                     ctx,
                     step.left.owner(),
@@ -475,10 +520,11 @@ impl Processor {
                 } else {
                     // Spine connector: emit the (complete) left part, walk on
                     // down the right spine, and free this node.
+                    ctx.tally.helpers_freed += 1;
                     let left = node.left.expect("spine nodes are internal");
                     let right = node.right.expect("spine nodes are internal");
-                    ctx.image.dec(self.id, left.owner());
-                    ctx.image.dec(self.id, right.owner());
+                    ctx.edge_drop(self.id, left.owner());
+                    ctx.edge_drop(self.id, right.owner());
                     self.send(
                         ctx,
                         left.owner(),

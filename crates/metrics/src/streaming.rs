@@ -1,0 +1,342 @@
+//! Streaming collectors: paper metrics maintained from
+//! [`HealerObserver`] callbacks instead of post-hoc graph traversal.
+//!
+//! The snapshot measurements ([`crate::degree_stats`],
+//! [`crate::cost_stats`]) re-walk the whole graph after the fact; on the
+//! ingestion hot path that re-traversal dwarfs the repairs themselves.
+//! These collectors ride along with the operations: attach one to
+//! `SelfHealer::apply_batch_observed` (or any `*_observed` call) and read
+//! the aggregate when you need it.
+//!
+//! * [`StreamingDegree`] — per-node edge-unit (multigraph) degrees of the
+//!   healed image and `G'`, and the worst ratio ever seen;
+//! * [`StreamingCost`] — Theorem 1.3 repair-cost aggregation, one
+//!   [`fg_core::RepairReport`] at a time;
+//! * [`ObserverCounts`] — raw callback totals, the consistency oracle the
+//!   test suites check reports against.
+
+use crate::repair::CostStats;
+use fg_core::{BatchReport, HealerObserver, InsertReport, RepairReport};
+use fg_graph::{Graph, NodeId};
+
+/// Streaming degree tracker over the image **multigraph**.
+///
+/// Counts edge *units* (original + virtual), which upper-bound the
+/// simple-graph degrees the paper's Theorem 1.1 speaks about: two
+/// virtual edges onto the same processor pair count twice here but once
+/// in the simple view. Exact simple-graph checks stay with
+/// [`crate::degree_stats`]; this tracker is the cheap always-on monitor.
+///
+/// Edge callbacks are buffered per operation and classified by the
+/// op-level callback that follows them: an insertion's attachments grow
+/// `G'` as well as the image, a repair's edges only touch the image.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingDegree {
+    image: Vec<i64>,
+    ghost: Vec<i64>,
+    pending: Vec<(NodeId, NodeId, bool)>,
+    worst_ratio: f64,
+}
+
+impl StreamingDegree {
+    /// A tracker starting from an empty network.
+    pub fn new() -> Self {
+        StreamingDegree::default()
+    }
+
+    /// A tracker seeded from `g0`, the adopted starting network (where
+    /// image and ghost coincide and every multiplicity is 1).
+    pub fn for_graph(g0: &Graph) -> Self {
+        let mut t = StreamingDegree::new();
+        for i in 0..g0.nodes_ever() {
+            let d = g0.degree(NodeId::new(i as u32)) as i64;
+            t.image.push(d);
+            t.ghost.push(d);
+        }
+        t.worst_ratio = t.max_ratio();
+        t
+    }
+
+    fn grow(&mut self, v: NodeId) {
+        if self.image.len() <= v.index() {
+            self.image.resize(v.index() + 1, 0);
+            self.ghost.resize(v.index() + 1, 0);
+        }
+    }
+
+    /// Image multigraph degree of `v` as tracked so far.
+    pub fn image_degree(&self, v: NodeId) -> i64 {
+        self.image.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// `G'` degree of `v` as tracked so far.
+    pub fn ghost_degree(&self, v: NodeId) -> i64 {
+        self.ghost.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// The current worst `image units / ghost degree` ratio over nodes
+    /// with positive ghost degree.
+    pub fn max_ratio(&self) -> f64 {
+        self.image
+            .iter()
+            .zip(&self.ghost)
+            .filter(|(_, &g)| g > 0)
+            .map(|(&i, &g)| i as f64 / g as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// The worst ratio observed after any completed operation (ratios can
+    /// peak right after a repair and relax later as `G'` grows).
+    pub fn worst_ratio_seen(&self) -> f64 {
+        self.worst_ratio
+    }
+
+    fn apply_pending(&mut self, ghost_too: bool) {
+        let pending = std::mem::take(&mut self.pending);
+        for (u, v, added) in &pending {
+            let (u, v) = (*u, *v);
+            if u == v {
+                // Self-loops are dropped by the homomorphism: no degree.
+                continue;
+            }
+            let delta = if *added { 1 } else { -1 };
+            self.grow(u);
+            self.grow(v);
+            self.image[u.index()] += delta;
+            self.image[v.index()] += delta;
+            if ghost_too {
+                debug_assert!(*added, "G' never loses edges");
+                self.ghost[u.index()] += 1;
+                self.ghost[v.index()] += 1;
+            }
+        }
+        // A node's ratio only moves when one of its edges does, so the
+        // running worst needs a look at this operation's endpoints only —
+        // never a full O(n) rescan on the streaming path.
+        for (u, v, _) in pending {
+            for w in [u, v] {
+                let g = self.ghost_degree(w);
+                if g > 0 {
+                    self.worst_ratio = self.worst_ratio.max(self.image_degree(w) as f64 / g as f64);
+                }
+            }
+        }
+    }
+}
+
+impl HealerObserver for StreamingDegree {
+    fn on_repair_edge(&mut self, u: NodeId, v: NodeId, added: bool) {
+        self.pending.push((u, v, added));
+    }
+
+    fn on_insert(&mut self, _report: &InsertReport) {
+        self.apply_pending(true);
+    }
+
+    fn on_delete(&mut self, _report: &RepairReport) {
+        self.apply_pending(false);
+    }
+}
+
+/// Streaming Theorem 1.3 cost aggregation: the same numbers as
+/// [`crate::cost_stats`] without storing the reports.
+///
+/// Each report normalizes against its own `nodes_ever` (the `n` at its
+/// deletion time), which is *more* faithful than the snapshot API's
+/// single end-of-run `n`.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingCost {
+    repairs: usize,
+    churn_total: u64,
+    rounds_total: u64,
+    max_churn: u64,
+    max_normalized_churn: f64,
+    max_rounds: u32,
+    max_rt_leaves: u32,
+}
+
+impl StreamingCost {
+    /// A collector with nothing aggregated yet.
+    pub fn new() -> Self {
+        StreamingCost::default()
+    }
+
+    /// Folds one repair into the aggregate.
+    pub fn record(&mut self, report: &RepairReport) {
+        self.repairs += 1;
+        let churn = report.churn();
+        self.churn_total += churn;
+        self.rounds_total += u64::from(report.btv_rounds);
+        self.max_churn = self.max_churn.max(churn);
+        self.max_rounds = self.max_rounds.max(report.btv_rounds);
+        self.max_rt_leaves = self.max_rt_leaves.max(report.rt_leaves);
+        self.max_normalized_churn = self.max_normalized_churn.max(report.normalized_churn());
+    }
+
+    /// Repairs aggregated so far.
+    pub fn repairs(&self) -> usize {
+        self.repairs
+    }
+
+    /// The aggregate as a [`CostStats`] row.
+    pub fn stats(&self) -> CostStats {
+        CostStats {
+            repairs: self.repairs,
+            max_churn: self.max_churn,
+            mean_churn: if self.repairs > 0 {
+                self.churn_total as f64 / self.repairs as f64
+            } else {
+                0.0
+            },
+            max_normalized_churn: self.max_normalized_churn,
+            max_rounds: self.max_rounds,
+            mean_rounds: if self.repairs > 0 {
+                self.rounds_total as f64 / self.repairs as f64
+            } else {
+                0.0
+            },
+            max_rt_leaves: self.max_rt_leaves,
+        }
+    }
+}
+
+impl HealerObserver for StreamingCost {
+    fn on_delete(&mut self, report: &RepairReport) {
+        self.record(report);
+    }
+}
+
+/// Raw callback totals — the oracle the differential and property suites
+/// compare against report aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObserverCounts {
+    /// `on_insert` calls.
+    pub inserts: u64,
+    /// `on_delete` calls.
+    pub deletes: u64,
+    /// `on_repair_edge(.., added = true)` calls.
+    pub edges_added: u64,
+    /// `on_repair_edge(.., added = false)` calls.
+    pub edges_dropped: u64,
+    /// `on_batch_end` calls.
+    pub batches: u64,
+}
+
+impl ObserverCounts {
+    /// All-zero counts.
+    pub fn new() -> Self {
+        ObserverCounts::default()
+    }
+}
+
+impl HealerObserver for ObserverCounts {
+    fn on_insert(&mut self, _report: &InsertReport) {
+        self.inserts += 1;
+    }
+
+    fn on_delete(&mut self, _report: &RepairReport) {
+        self.deletes += 1;
+    }
+
+    fn on_repair_edge(&mut self, _u: NodeId, _v: NodeId, added: bool) {
+        if added {
+            self.edges_added += 1;
+        } else {
+            self.edges_dropped += 1;
+        }
+    }
+
+    fn on_batch_end(&mut self, _report: &BatchReport) {
+        self.batches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::{ForgivingGraph, NetworkEvent, SelfHealer};
+    use fg_graph::generators;
+
+    #[test]
+    fn streaming_degree_tracks_multi_degrees_through_a_repair() {
+        let g = generators::star(9);
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        let mut tracker = StreamingDegree::for_graph(&g);
+        let _ = fg
+            .apply_batch_observed(&[NetworkEvent::delete(NodeId::new(0))], &mut tracker)
+            .unwrap();
+        // Dead hub: zero image units; its ghost degree survives.
+        assert_eq!(tracker.image_degree(NodeId::new(0)), 0);
+        assert_eq!(tracker.ghost_degree(NodeId::new(0)), 8);
+        // Every live node's tracked unit count equals the engine's
+        // multigraph degree.
+        for v in fg.image().iter() {
+            assert_eq!(
+                tracker.image_degree(v),
+                i64::from(fg.multi_degree(v)),
+                "unit degree mismatch at {v}"
+            );
+        }
+        assert!(tracker.max_ratio() <= 4.0);
+        assert!(tracker.worst_ratio_seen() >= tracker.max_ratio());
+    }
+
+    #[test]
+    fn streaming_degree_classifies_insert_edges_as_ghost_growth() {
+        let g = generators::path(3);
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        let mut tracker = StreamingDegree::for_graph(&g);
+        let _ = fg
+            .apply_batch_observed(
+                &[NetworkEvent::insert([NodeId::new(0), NodeId::new(2)])],
+                &mut tracker,
+            )
+            .unwrap();
+        assert_eq!(tracker.ghost_degree(NodeId::new(3)), 2);
+        assert_eq!(tracker.image_degree(NodeId::new(3)), 2);
+        assert_eq!(tracker.ghost_degree(NodeId::new(0)), 2);
+    }
+
+    #[test]
+    fn streaming_cost_matches_snapshot_cost_stats() {
+        let mut fg = ForgivingGraph::from_graph(&generators::star(20)).unwrap();
+        let mut streaming = StreamingCost::new();
+        let mut reports = Vec::new();
+        for v in 0..10u32 {
+            let report = fg.delete(NodeId::new(v)).unwrap();
+            streaming.record(&report);
+            reports.push(report);
+        }
+        let snapshot = crate::cost_stats(&reports, fg.nodes_ever());
+        let live = streaming.stats();
+        assert_eq!(live.repairs, snapshot.repairs);
+        assert_eq!(live.max_churn, snapshot.max_churn);
+        assert_eq!(live.max_rounds, snapshot.max_rounds);
+        assert_eq!(live.max_rt_leaves, snapshot.max_rt_leaves);
+        assert!((live.mean_churn - snapshot.mean_churn).abs() < 1e-9);
+        // `nodes_ever` is constant over a pure-deletion run, so even the
+        // normalized envelopes coincide.
+        assert!((live.max_normalized_churn - snapshot.max_normalized_churn).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_counts_match_batch_report() {
+        let mut fg = ForgivingGraph::from_graph(&generators::star(12)).unwrap();
+        let mut counts = ObserverCounts::new();
+        let batch = fg
+            .apply_batch_observed(
+                &[
+                    NetworkEvent::delete(NodeId::new(0)),
+                    NetworkEvent::insert([NodeId::new(1), NodeId::new(2)]),
+                    NetworkEvent::delete(NodeId::new(1)),
+                ],
+                &mut counts,
+            )
+            .unwrap();
+        assert_eq!(counts.inserts, batch.inserts);
+        assert_eq!(counts.deletes, batch.deletes);
+        assert_eq!(counts.edges_added, batch.edges_added);
+        assert_eq!(counts.edges_dropped, batch.edges_dropped);
+        assert_eq!(counts.batches, 1);
+    }
+}

@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn summary_of_attacked_star() {
         let mut fg = ForgivingGraph::from_graph(&generators::star(9)).unwrap();
-        fg.delete(NodeId::new(0)).unwrap();
+        let _ = fg.delete(NodeId::new(0)).unwrap();
         let s = measure(&fg);
         assert_eq!(s.healer, "forgiving-graph");
         assert_eq!(s.alive, 8);
@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn sampled_matches_exact_on_small_graph() {
         let mut fg = ForgivingGraph::from_graph(&generators::cycle(10)).unwrap();
-        fg.delete(NodeId::new(3)).unwrap();
+        let _ = fg.delete(NodeId::new(3)).unwrap();
         let exact = measure(&fg);
         let sampled = measure_sampled(&fg, 9, 1); // all 9 live sources
         assert_eq!(exact.stretch.max, sampled.stretch.max);

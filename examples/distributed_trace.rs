@@ -1,22 +1,40 @@
 //! Watch the message-passing protocol repair a deletion, round by round:
-//! the literal subject of Lemma 4.
+//! the literal subject of Lemma 4 — driven through the same `SelfHealer`
+//! façade as every other healer, with the protocol's message accounting
+//! read from underneath it.
 //!
 //! ```bash
 //! cargo run --example distributed_trace
 //! ```
 
-use fg_core::PlacementPolicy;
-use fg_dist::Network;
+use fg_core::{PlacementPolicy, SelfHealer};
+use fg_dist::DistHealer;
 use fg_graph::{generators, traversal, NodeId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = generators::star(17);
-    let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+    let mut healer = DistHealer::from_graph(&g, PlacementPolicy::Adjacent);
     println!("star(17): hub n0 with 16 spokes — deleting the hub\n");
 
-    let cost = net.delete(NodeId::new(0))?;
+    let report = healer.delete(NodeId::new(0))?;
+    let cost = healer.costs().last().expect("one repair ran").clone();
+    println!("structural repair report (identical to the sequential engine's):");
+    println!("  will entries  : {:>6}", report.will_entries);
     println!(
-        "repair protocol accounting (victim degree d = {}):",
+        "  fragments     : {:>6}   over {} affected nodes",
+        report.fragments, report.affected_nodes
+    );
+    println!("  buckets       : {:>6}", report.buckets);
+    println!(
+        "  edges         : {:>6} added, {} dropped",
+        report.edges_added, report.edges_dropped
+    );
+    println!(
+        "  rebuilt RT    : {:>6} leaves, depth {}",
+        report.rt_leaves, report.rt_depth
+    );
+    println!(
+        "\nprotocol accounting (victim degree d = {}):",
         cost.victim_degree
     );
     println!(
@@ -37,22 +55,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nhealed network: {} nodes, {} edges, connected = {}, diameter = {:?}",
-        net.image().node_count(),
-        net.image().edge_count(),
-        traversal::is_connected(net.image()),
-        traversal::diameter_exact(net.image()),
+        healer.image().node_count(),
+        healer.image().edge_count(),
+        traversal::is_connected(healer.image()),
+        traversal::diameter_exact(healer.image()),
     );
 
     // Now a cascade: keep deleting; costs stay within the envelopes.
     for v in [1u32, 2, 3, 4] {
-        let c = net.delete(NodeId::new(v))?;
+        let report = healer.delete(NodeId::new(v))?;
+        let c = healer.costs().last().expect("repair ran");
         println!(
-            "delete n{v}: {} msgs ({:.2} normalized), {} rounds",
+            "delete n{v}: churn {} ({:.2} normalized), {} msgs ({:.2} normalized), {} rounds",
+            report.churn(),
+            report.normalized_churn(),
             c.messages,
             c.normalized_messages(),
             c.rounds
         );
     }
-    assert!(traversal::is_connected(net.image()));
+    assert!(traversal::is_connected(healer.image()));
     Ok(())
 }

@@ -9,7 +9,7 @@ use fg_adversary::{replay, run_attack, MaxDegreeDeleter};
 use fg_baselines::{
     BinaryTreeHealer, CliqueHealer, CycleHealer, ForgivingTree, NoHealer, StarHealer,
 };
-use fg_core::{ForgivingGraph, SelfHealer};
+use fg_core::{BatchReport, ForgivingGraph, SelfHealer};
 use fg_graph::generators;
 use fg_metrics::{f2, measure, Table};
 
@@ -28,6 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(NoHealer::from_graph(&g)),
     ];
 
+    // Every healer answers the same trace with typed per-op reports, so
+    // the repair-cost columns come straight from the API — no re-walks.
     let mut table = Table::new(
         &format!(
             "healing zoo — BA(96,2), {} hub deletions (same trace for everyone)",
@@ -39,27 +41,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "max stretch",
             "max deg ratio",
             "edges",
+            "edges healed in",
+            "worst repair churn",
         ],
     );
-    let h = measure(&fg);
-    table.push_row([
-        h.healer.to_string(),
-        h.connected.to_string(),
-        f2(h.stretch.max),
-        f2(h.degree.max_ratio),
-        fg.image().edge_count().to_string(),
-    ]);
-    for healer in &mut zoo {
-        replay(healer.as_mut(), &log.events)?;
-        let h = measure(healer.as_ref());
-        table.push_row([
+    let zoo_row = |healer: &dyn SelfHealer, report: &BatchReport| {
+        let h = measure(healer);
+        [
             h.healer.to_string(),
             h.connected.to_string(),
             f2(h.stretch.max),
             f2(h.degree.max_ratio),
             healer.image().edge_count().to_string(),
-        ]);
+            report.edges_added.to_string(),
+            report.max_churn.to_string(),
+        ]
+    };
+    table.push_row(zoo_row(&fg, &log.report));
+    for healer in &mut zoo {
+        let report = replay(healer.as_mut(), &log.events)?;
+        table.push_row(zoo_row(healer.as_ref(), &report));
     }
     println!("{}", table.to_markdown());
+
+    // The worst single repair, straight from the outcome stream.
+    if let Some(worst) = log.report.repairs().max_by_key(|r| r.churn()) {
+        println!(
+            "forgiving-graph's worst repair: {} (G' degree {}) — {} fragments over {} \
+             affected nodes, {} buckets, +{}/-{} edges, churn {}",
+            worst.deleted,
+            worst.ghost_degree,
+            worst.fragments,
+            worst.affected_nodes,
+            worst.buckets,
+            worst.edges_added,
+            worst.edges_dropped,
+            worst.churn()
+        );
+    }
     Ok(())
 }

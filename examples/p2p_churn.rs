@@ -22,11 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "connected",
             "max stretch",
             "max deg ratio",
+            "worst churn",
+            "worst churn/(d·log n)",
         ],
     );
     let mut adv = ChurnAdversary::new(77, 0.55, 3, 16, 1000);
     for checkpoint in 0..10 {
-        run_attack(&mut network, &mut adv, 100)?;
+        // The attack log carries every operation's typed report, so the
+        // repair-cost columns need no graph traversal at all.
+        let log = run_attack(&mut network, &mut adv, 100)?;
         let h = measure_sampled(&network, 32, checkpoint as u64);
         table.push_row([
             format!("{}", (checkpoint + 1) * 100),
@@ -35,15 +39,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             h.connected.to_string(),
             format!("{:.2}", h.stretch.max),
             format!("{:.2}", h.degree.max_ratio),
+            log.report.max_churn.to_string(),
+            format!("{:.2}", log.report.max_normalized_churn()),
         ]);
     }
     network.check_invariants()?;
     println!("{}", table.to_markdown());
     println!(
-        "lifetime: {} repairs, {} helpers created, {} freed, {} rep fallbacks",
+        "lifetime: {} repairs, {} helpers created, {} freed, +{}/-{} edge units, {} rep fallbacks",
         network.stats().deletes,
         network.stats().helpers_created,
         network.stats().helpers_freed,
+        network.stats().edges_added,
+        network.stats().edges_dropped,
         network.stats().rep_fallbacks
     );
     Ok(())

@@ -18,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traversal::diameter_exact(network.image())
     );
 
-    // The adversary kills the three biggest hubs, one per round.
+    // The adversary kills the three biggest hubs, one per round. Every
+    // deletion returns a full RepairReport — the paper's per-repair
+    // quantities, no graph traversal needed.
     for _ in 0..3 {
         let hub = network
             .image()
@@ -27,15 +29,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("network is non-empty");
         let report = network.delete(hub)?;
         println!(
-            "deleted {hub} (G' degree {}): rebuilt a {}-leaf reconstruction tree of depth {} \
-             in {} merge rounds",
-            report.ghost_degree, report.rt_leaves, report.rt_depth, report.btv_rounds
+            "deleted {hub} (G' degree {}): will had {} entries, {} fragments from {} affected \
+             nodes merged through {} buckets into a {}-leaf reconstruction tree of depth {} \
+             in {} rounds (+{}/-{} edges, churn {}, normalized {:.2})",
+            report.ghost_degree,
+            report.will_entries,
+            report.fragments,
+            report.affected_nodes,
+            report.buckets,
+            report.rt_leaves,
+            report.rt_depth,
+            report.btv_rounds,
+            report.edges_added,
+            report.edges_dropped,
+            report.churn(),
+            report.normalized_churn(),
         );
     }
 
     // New peers join even while the network is scarred.
-    let a = network.insert(&[NodeId::new(5), NodeId::new(9)])?;
-    println!("inserted {a} attached to two survivors");
+    let joined = fg_core::SelfHealer::insert(&mut network, &[NodeId::new(5), NodeId::new(9)])?;
+    println!(
+        "inserted {} attached to {} survivors (+{} edges)",
+        joined.node, joined.neighbors, joined.edges_added
+    );
 
     // The paper's two guarantees, measured:
     let health = fg_metrics::measure(&network);

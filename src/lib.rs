@@ -27,3 +27,33 @@ pub use fg_dist as dist;
 pub use fg_graph as graph;
 pub use fg_haft as haft;
 pub use fg_metrics as metrics;
+
+/// One-stop imports for driving any healer through the typed
+/// operation/outcome API.
+///
+/// ```
+/// use forgiving_graph::prelude::*;
+///
+/// let g = fg_graph::generators::star(9);
+/// let mut engine = ForgivingGraph::from_graph(&g)?;
+/// let mut protocol = DistHealer::from_graph(&g, PlacementPolicy::Adjacent);
+/// for healer in [&mut engine as &mut dyn SelfHealer, &mut protocol] {
+///     let report = healer.delete(NodeId::new(0))?;
+///     assert_eq!(report.leaves_created, 8);
+/// }
+/// # Ok::<(), fg_core::EngineError>(())
+/// ```
+pub mod prelude {
+    pub use fg_adversary::{replay, run_attack, AttackLog};
+    pub use fg_baselines::{
+        BinaryTreeHealer, CliqueHealer, CycleHealer, ForgivingTree, NoHealer, StarHealer,
+    };
+    pub use fg_bench::{scenario, Scenario, ScenarioRunner, WORKLOADS};
+    pub use fg_core::{
+        BatchReport, EngineError, ForgivingGraph, HealOutcome, HealerObserver, InsertReport,
+        NetworkEvent, NoopObserver, PlacementPolicy, RepairReport, SelfHealer,
+    };
+    pub use fg_dist::{DistHealer, Network, RepairCost};
+    pub use fg_graph::{Graph, NodeId};
+    pub use fg_metrics::{measure, ObserverCounts, StreamingCost, StreamingDegree};
+}

@@ -7,7 +7,7 @@ use forgiving_graph::adversary::{
 };
 use forgiving_graph::baselines::{CycleHealer, ForgivingTree, NoHealer};
 use forgiving_graph::core::{ForgivingGraph, PlacementPolicy, SelfHealer};
-use forgiving_graph::dist::Network;
+use forgiving_graph::dist::DistHealer;
 use forgiving_graph::graph::{generators, traversal, NodeId};
 use forgiving_graph::metrics::{cost_stats, measure, measure_sampled, stretch_exact};
 
@@ -79,21 +79,24 @@ fn repair_costs_stay_in_theorem_envelope() {
 #[test]
 fn distributed_and_sequential_agree_after_full_campaign() {
     let g = generators::grid(4, 4);
-    let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+    let mut dist = DistHealer::from_graph(&g, PlacementPolicy::Adjacent);
     let mut fg = ForgivingGraph::from_graph(&g).unwrap();
-    // A campaign mixing interior and corner deletions plus insertions.
+    // A campaign mixing interior and corner deletions plus insertions,
+    // driven through the shared façade; the typed reports must agree.
     for v in [5u32, 10, 0, 15, 6] {
-        net.delete(NodeId::new(v)).unwrap();
-        fg.delete(NodeId::new(v)).unwrap();
+        let a = SelfHealer::delete(&mut dist, NodeId::new(v)).unwrap();
+        let b = fg.delete(NodeId::new(v)).unwrap();
+        assert_eq!(a, b, "repair reports diverged at n{v}");
     }
-    let a = net.insert(&[NodeId::new(1), NodeId::new(14)]).unwrap();
-    let b = fg.insert(&[NodeId::new(1), NodeId::new(14)]).unwrap();
+    let a = SelfHealer::insert(&mut dist, &[NodeId::new(1), NodeId::new(14)]).unwrap();
+    let b = SelfHealer::insert(&mut fg, &[NodeId::new(1), NodeId::new(14)]).unwrap();
     assert_eq!(a, b);
-    net.delete(NodeId::new(9)).unwrap();
-    fg.delete(NodeId::new(9)).unwrap();
-    assert_eq!(net.image(), fg.image());
+    let a = SelfHealer::delete(&mut dist, NodeId::new(9)).unwrap();
+    let b = fg.delete(NodeId::new(9)).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(SelfHealer::image(&dist), fg.image());
     // Every repair stayed within Lemma 4's message envelope.
-    for cost in &net.repair_costs {
+    for cost in dist.costs() {
         assert!(cost.normalized_messages() < 30.0);
     }
 }
@@ -107,7 +110,9 @@ fn forgiving_graph_beats_forgiving_tree_on_stretch() {
     let log = run_attack(&mut fg, &mut adv, 90).unwrap();
 
     let mut ft = ForgivingTree::from_graph(&g);
-    replay(&mut ft, &log.events).unwrap();
+    let ft_report = replay(&mut ft, &log.events).unwrap();
+    assert_eq!(ft_report.len(), log.events.len());
+    assert_eq!(ft_report.deletes, log.deletions as u64);
 
     let s_fg = stretch_exact(fg.image(), fg.ghost());
     let s_ft = stretch_exact(ft.image(), ft.ghost());
@@ -128,7 +133,7 @@ fn no_heal_control_disconnects_where_fg_survives() {
     let mut none = NoHealer::from_graph(&g);
     let mut ring = CycleHealer::from_graph(&g);
     for healer in [&mut fg as &mut dyn SelfHealer, &mut none, &mut ring] {
-        healer.delete(NodeId::new(0)).unwrap();
+        let _ = healer.delete(NodeId::new(0)).unwrap();
     }
     assert!(traversal::is_connected(fg.image()));
     assert!(traversal::is_connected(ring.image()));
@@ -149,7 +154,7 @@ fn long_mixed_campaign_drains_cleanly() {
     // Now delete everyone.
     let alive: Vec<NodeId> = fg.image().iter().collect();
     for v in alive {
-        fg.delete(v).unwrap();
+        let _ = fg.delete(v).unwrap();
     }
     assert_eq!(fg.alive_count(), 0);
     assert_eq!(fg.forest_len(), 0, "no virtual nodes may leak");
