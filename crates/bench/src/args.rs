@@ -101,6 +101,13 @@ impl BenchArgs {
         self.raw("json")
     }
 
+    /// The executor width (`--threads`, default 1): how many shard
+    /// workers the distributed backend runs its repair rounds on. Thread
+    /// count never changes results (see `fg_dist`), only wall-clock.
+    pub fn threads(&self) -> usize {
+        self.get("threads", 1usize).max(1)
+    }
+
     /// Prints every table as markdown and, when `--json` was given, writes
     /// them all to that path as a JSON array of
     /// `{title, headers, rows}` objects.
@@ -148,6 +155,13 @@ mod tests {
         assert_eq!(args.scale_n(64), 32);
         assert_eq!(args.json_path(), Some("out.json"));
         assert_eq!(args.get("threshold", 256usize), 256);
+    }
+
+    #[test]
+    fn threads_defaults_to_one_and_clamps() {
+        assert_eq!(BenchArgs::parse_from(Vec::<String>::new()).threads(), 1);
+        assert_eq!(BenchArgs::parse_from(["--threads", "4"]).threads(), 4);
+        assert_eq!(BenchArgs::parse_from(["--threads", "0"]).threads(), 1);
     }
 
     #[test]

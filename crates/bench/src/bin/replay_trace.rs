@@ -1,66 +1,122 @@
-//! Replays a dumped scenario trace (`throughput --trace-out`) through the
-//! sequential engine and prints one JSON line of throughput numbers.
+//! Replays a dumped scenario trace (`throughput --trace-out`) and prints
+//! one JSON line of throughput numbers — and, when asked to check the
+//! replay, **exits nonzero on any mismatch** so CI and scripts can gate
+//! on it (a silently-successful mismatch report is worse than a crash).
 //!
-//! Usage: `replay_trace <trace-file> [runs]`
+//! Usage: `replay_trace <trace-file> [runs] [flags]`
 //!
-//! Deliberately self-contained (std-only parsing, no fg-bench helpers) so
-//! the identical source compiles against older revisions of the
-//! workspace — this is the apples-to-apples driver behind the
-//! old-layout vs arena-layout numbers in `BENCH_throughput.json`.
+//! Flags:
+//! * `--verify dist` — additionally replay the trace through the
+//!   distributed protocol in lockstep with the engine, comparing the
+//!   typed outcome of **every** event; the first report mismatch prints
+//!   to stderr and exits with status 1.
+//! * `--threads <w>` — executor width for the `--verify` replay.
+//! * `--expect-digest <path>` — compare the engine's per-event outcome
+//!   digests against a recorded digest file; the first drift prints to
+//!   stderr and exits with status 2.
+//! * `--digest-out <path>` — write the engine's digest stream (the format
+//!   `--expect-digest` and the golden corpus consume; the digest files
+//!   are always the *engine's* reference stream — `--verify dist` is how
+//!   the protocol is checked against it).
+//!
+//! Unknown flags are an error: a gate whose misspelled check silently
+//! never runs would pass vacuously.
+//!
+//! Exit status: 0 = replay ok (and all requested checks passed),
+//! 1 = report mismatch between engine and protocol, 2 = digest drift
+//! against the recorded file.
 
-use fg_core::{ForgivingGraph, NetworkEvent};
-use fg_graph::{Graph, NodeId};
+use fg_bench::replay::{
+    first_digest_drift, format_digest_file, parse_digest_file, replay_digests,
+    verify_engine_vs_dist, ReplayBackend,
+};
+use fg_bench::Scenario;
+use fg_core::ForgivingGraph;
 use std::time::Instant;
 
-fn parse(text: &str) -> (Graph, Vec<NetworkEvent>) {
-    let mut g = Graph::new();
-    let mut events = Vec::new();
-    for line in text.lines() {
-        let mut parts = line.split_whitespace();
-        let tag = match parts.next() {
-            Some(t) => t,
-            None => continue,
-        };
-        let ids: Vec<u32> = parts.map(|p| p.parse().expect("numeric field")).collect();
-        match tag {
-            "n" => {
-                while g.nodes_ever() < ids[0] as usize {
-                    g.add_node();
-                }
-            }
-            "e" => {
-                g.add_edge(NodeId::new(ids[0]), NodeId::new(ids[1]))
-                    .expect("simple trace edge");
-            }
-            "I" => events.push(NetworkEvent::insert(ids.into_iter().map(NodeId::new))),
-            "D" => events.push(NetworkEvent::delete(NodeId::new(ids[0]))),
-            other => panic!("unknown trace tag {other:?}"),
+fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut flags: Vec<(String, String)> = Vec::new();
+    const KNOWN: &[&str] = &["verify", "threads", "expect-digest", "digest-out"];
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            assert!(
+                KNOWN.contains(&name),
+                "unknown flag --{name}; known: {KNOWN:?}"
+            );
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{name} needs a value"));
+            flags.push((name.to_string(), value));
+        } else {
+            positional.push(arg);
         }
     }
-    (g, events)
-}
+    let flag = |name: &str| {
+        flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let path = positional
+        .first()
+        .cloned()
+        .expect("usage: replay_trace <trace-file> [runs] [--verify dist] [--expect-digest f]");
+    let runs: usize = positional.get(1).map_or(3, |r| r.parse().expect("runs"));
+    let threads: usize = flag("threads").map_or(1, |t| t.parse().expect("--threads"));
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let path = args
-        .next()
-        .expect("usage: replay_trace <trace-file> [runs]");
-    let runs: usize = args.next().map_or(3, |r| r.parse().expect("runs"));
     let text = std::fs::read_to_string(&path).expect("readable trace file");
-    let (g0, events) = parse(&text);
+    let sc = Scenario::read_trace(&path, &text);
+
+    // Requested checks run before the timing loop: a broken replay must
+    // fail loudly, not publish throughput numbers.
+    if let Some(backend) = flag("verify") {
+        assert_eq!(backend, "dist", "--verify supports exactly: dist");
+        match verify_engine_vs_dist(&sc, threads) {
+            Ok(events) => eprintln!("verify: {events} events, engine == dist ({threads} threads)"),
+            Err(mismatch) => {
+                eprintln!("verify FAILED: {mismatch}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if flag("expect-digest").is_some() || flag("digest-out").is_some() {
+        let digests =
+            replay_digests(&sc, ReplayBackend::Engine).expect("legal trace replays cleanly");
+        if let Some(out) = flag("digest-out") {
+            let header = format!("trace {path}\nevents {}", sc.events.len());
+            std::fs::write(out, format_digest_file(&header, &digests))
+                .expect("writing --digest-out");
+            eprintln!("wrote {} digests to {out}", digests.len());
+        }
+        if let Some(expect) = flag("expect-digest") {
+            let recorded =
+                parse_digest_file(&std::fs::read_to_string(expect).expect("readable digest file"));
+            if let Some((index, want, got)) = first_digest_drift(&recorded, &digests) {
+                eprintln!(
+                    "digest drift at event {index}: recorded {want:016x}, replay produced \
+                     {got:016x} ({expect})"
+                );
+                std::process::exit(2);
+            }
+            eprintln!("digests match {expect} ({} events)", recorded.len());
+        }
+    }
 
     let mut best = f64::INFINITY;
     for _ in 0..runs.max(1) {
-        let mut fg = ForgivingGraph::from_graph(&g0).expect("fresh G0");
+        let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
         let start = Instant::now();
-        for event in &events {
+        for event in &sc.events {
             fg.apply(event).expect("legal trace event");
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
     println!(
         "{{\"trace\": \"{path}\", \"events\": {}, \"runs\": {runs}, \"best_wall_seconds\": {best}, \"events_per_sec\": {}}}",
-        events.len(),
-        events.len() as f64 / best
+        sc.events.len(),
+        sc.events.len() as f64 / best
     );
 }

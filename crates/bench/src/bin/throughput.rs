@@ -8,14 +8,26 @@
 //!
 //! Flags (all optional): `--workloads a,b,c`, `--n <initial size>`,
 //! `--events <count>`, `--batch <size>`, `--backend engine|dist|both`,
+//! `--threads <w>` (executor width for the dist backend),
+//! `--threads-sweep w1,w2,...` (replay the dist backend once per width
+//! and emit a `threads_sweep` comparison section),
 //! `--trace-out <path>` (dump the trace for cross-ref replays), plus the
 //! shared `--seed` / `--scale` / `--json <path>`.
 
 use fg_bench::json::Json;
-use fg_bench::{scenario, BenchArgs, ScenarioRunner};
-use fg_core::{ForgivingGraph, PlacementPolicy, SelfHealer};
+use fg_bench::{scenario, BenchArgs, RunResult, Scenario, ScenarioRunner};
+use fg_core::{ForgivingGraph, PlacementPolicy};
 use fg_dist::DistHealer;
 use fg_metrics::{f2, Table};
+
+fn run_dist(sc: &Scenario, batch: usize, threads: usize) -> RunResult {
+    let mut healer =
+        DistHealer::from_graph_threaded(&sc.initial, PlacementPolicy::Adjacent, threads);
+    ScenarioRunner::new(batch)
+        .with_threads(threads)
+        .run(sc, &mut healer)
+        .expect("scenario traces are legal")
+}
 
 fn main() {
     let args = BenchArgs::parse();
@@ -23,9 +35,11 @@ fn main() {
     let n = args.scale_n(args.get("n", 1024usize));
     let events = args.get("events", 50_000usize);
     let batch = args.get("batch", 256usize);
+    let threads = args.threads();
     let backend = args.get("backend", "engine".to_string());
     let names = args.get("workloads", "churn".to_string());
     let json_path = args.json_path().unwrap_or("BENCH_throughput.json");
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
 
     let runner = ScenarioRunner::new(batch);
     let mut table = Table::new(
@@ -33,6 +47,7 @@ fn main() {
         [
             "workload",
             "backend",
+            "threads",
             "events",
             "deletes",
             "wall s",
@@ -43,32 +58,74 @@ fn main() {
         ],
     );
     let mut results = Vec::new();
+    let mut sweeps = Vec::new();
     for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         let sc = scenario(name, n, events, seed);
         if let Some(path) = args.raw("trace-out") {
             std::fs::write(path, sc.to_trace()).expect("writing --trace-out");
             eprintln!("wrote trace to {path}");
         }
-        let mut backends: Vec<Box<dyn SelfHealer>> = Vec::new();
+        let dist_backend = backend == "dist" || backend == "both";
+        let sweep = if dist_backend {
+            args.raw("threads-sweep")
+        } else {
+            if args.raw("threads-sweep").is_some() {
+                eprintln!(
+                    "--threads-sweep replays the dist backend; ignored with --backend {backend}"
+                );
+            }
+            None
+        };
+        let mut runs: Vec<RunResult> = Vec::new();
         if backend == "engine" || backend == "both" {
-            backends.push(Box::new(
-                ForgivingGraph::from_graph(&sc.initial).expect("fresh G0"),
-            ));
+            let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+            runs.push(runner.run(&sc, &mut fg).expect("scenario traces are legal"));
         }
-        if backend == "dist" || backend == "both" {
-            backends.push(Box::new(DistHealer::from_graph(
-                &sc.initial,
-                PlacementPolicy::Adjacent,
-            )));
+        // With a sweep, the sweep's widths *are* the dist runs — a
+        // standalone run at `--threads` would just duplicate one of them.
+        if dist_backend && sweep.is_none() {
+            runs.push(run_dist(&sc, batch, threads));
         }
-        assert!(!backends.is_empty(), "unknown --backend {backend:?}");
-        for healer in &mut backends {
-            let result = runner
-                .run(&sc, healer.as_mut())
-                .expect("scenario traces are legal");
+        assert!(
+            !runs.is_empty() || sweep.is_some(),
+            "unknown --backend {backend:?}"
+        );
+
+        // The threads sweep: the *same* trace through the dist backend at
+        // every requested width. Results are bit-identical by the
+        // executor's determinism contract; only wall-clock may move.
+        if let Some(widths) = sweep {
+            let mut entries = Vec::new();
+            let mut base_wall = None;
+            for w in widths.split(',').filter_map(|t| t.trim().parse().ok()) {
+                let result = run_dist(&sc, batch, w);
+                let base = *base_wall.get_or_insert(result.wall_seconds);
+                entries.push(
+                    Json::obj()
+                        .field("threads", Json::Int(w as i64))
+                        .field("wall_seconds", Json::Float(result.wall_seconds))
+                        .field("events_per_sec", Json::Float(result.events_per_sec))
+                        .field(
+                            "speedup_vs_first",
+                            Json::Float(base / result.wall_seconds.max(1e-12)),
+                        ),
+                );
+                runs.push(result);
+            }
+            sweeps.push(
+                Json::obj()
+                    .field("scenario", Json::str(name))
+                    .field("backend", Json::str("fg-dist"))
+                    .field("events", Json::Int(events as i64))
+                    .field("entries", Json::Arr(entries)),
+            );
+        }
+
+        for result in runs {
             table.push_row([
                 result.scenario.clone(),
                 result.backend.clone(),
+                result.threads.to_string(),
                 result.events.to_string(),
                 result.deletes.to_string(),
                 format!("{:.3}", result.wall_seconds),
@@ -82,20 +139,23 @@ fn main() {
     }
     println!("{}", table.to_markdown());
 
-    let report = Json::obj()
-        .field("bench", Json::str("throughput"))
-        .field(
-            "config",
-            Json::obj()
-                .field("n", Json::Int(n as i64))
-                .field("events", Json::Int(events as i64))
-                .field("batch", Json::Int(batch as i64))
-                .field("seed", Json::Int(seed as i64)),
-        )
-        .field(
-            "results",
-            Json::Arr(results.iter().map(|r| r.to_json()).collect()),
-        );
+    let mut report = Json::obj().field("bench", Json::str("throughput")).field(
+        "config",
+        Json::obj()
+            .field("n", Json::Int(n as i64))
+            .field("events", Json::Int(events as i64))
+            .field("batch", Json::Int(batch as i64))
+            .field("seed", Json::Int(seed as i64))
+            .field("threads", Json::Int(threads as i64))
+            .field("host_cpus", Json::Int(host_cpus as i64)),
+    );
+    if !sweeps.is_empty() {
+        report = report.field("threads_sweep", Json::Arr(sweeps));
+    }
+    let report = report.field(
+        "results",
+        Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+    );
     std::fs::write(json_path, report.pretty()).expect("writing benchmark JSON");
     eprintln!("wrote {json_path}");
 }

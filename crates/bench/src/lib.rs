@@ -19,6 +19,7 @@
 
 pub mod args;
 pub mod json;
+pub mod replay;
 pub mod scenario;
 
 use fg_core::{ForgivingGraph, PlacementPolicy};

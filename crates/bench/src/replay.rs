@@ -1,0 +1,211 @@
+//! Lockstep trace replay, outcome digests, and digest-file parsing —
+//! shared by the `replay_trace` binary and the golden-trace regression
+//! suite (`tests/golden_traces.rs`).
+//!
+//! A *digest stream* is one stable 64-bit digest per event (see
+//! [`fg_core::ReportDigest`]): the digest of the typed outcome the healer
+//! returned. Two healers replaying the same trace produce the same digest
+//! stream iff their per-event reports are bit-identical — which is the
+//! protocol/engine convergence contract, so digest files double as a
+//! compact regression corpus.
+
+use crate::scenario::Scenario;
+use fg_core::ForgivingGraph;
+use fg_core::{EngineError, HealOutcome, NetworkEvent, PlacementPolicy, SelfHealer};
+use fg_dist::DistHealer;
+
+/// Which implementation replays the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayBackend {
+    /// The sequential reference engine.
+    Engine,
+    /// The message-passing protocol at the given executor width.
+    Dist {
+        /// Worker threads for the round executor (1 = inline).
+        threads: usize,
+    },
+}
+
+impl ReplayBackend {
+    /// Builds a fresh healer over the scenario's initial graph.
+    pub fn build(self, sc: &Scenario) -> Box<dyn SelfHealer> {
+        match self {
+            ReplayBackend::Engine => {
+                Box::new(ForgivingGraph::from_graph(&sc.initial).expect("fresh G0 from trace"))
+            }
+            ReplayBackend::Dist { threads } => Box::new(DistHealer::from_graph_threaded(
+                &sc.initial,
+                PlacementPolicy::Adjacent,
+                threads,
+            )),
+        }
+    }
+}
+
+/// Replays `sc` through `backend` and returns one outcome digest per
+/// event.
+///
+/// # Errors
+///
+/// Propagates the first [`EngineError`] — scenario traces are legal by
+/// construction, so an error indicates a healer bug.
+pub fn replay_digests(sc: &Scenario, backend: ReplayBackend) -> Result<Vec<u64>, EngineError> {
+    let mut healer = backend.build(sc);
+    sc.events
+        .iter()
+        .map(|event| healer.apply_event(event).map(|o| o.digest()))
+        .collect()
+}
+
+/// A per-event divergence between two replays of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeMismatch {
+    /// Index of the diverging event.
+    pub index: usize,
+    /// The event itself.
+    pub event: NetworkEvent,
+    /// What the reference engine reported.
+    pub engine: HealOutcome,
+    /// What the distributed protocol reported.
+    pub dist: HealOutcome,
+}
+
+impl std::fmt::Display for OutcomeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "report mismatch at event {} ({}): engine {:?} != dist {:?}",
+            self.index, self.event, self.engine, self.dist
+        )
+    }
+}
+
+/// Replays `sc` through the engine and the distributed protocol (at
+/// `threads` executor width) in lockstep, comparing the typed outcome of
+/// every event. Returns the number of events verified.
+///
+/// # Errors
+///
+/// The first per-event report mismatch (boxed — it carries both
+/// reports), or the first [`EngineError`] from either healer.
+pub fn verify_engine_vs_dist(
+    sc: &Scenario,
+    threads: usize,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    let mut engine = ReplayBackend::Engine.build(sc);
+    let mut dist = ReplayBackend::Dist { threads }.build(sc);
+    for (index, event) in sc.events.iter().enumerate() {
+        let a = engine.apply_event(event)?;
+        let b = dist.apply_event(event)?;
+        if a != b {
+            return Err(Box::new(ReplayError(OutcomeMismatch {
+                index,
+                event: event.clone(),
+                engine: a,
+                dist: b,
+            })));
+        }
+    }
+    Ok(sc.events.len())
+}
+
+/// [`OutcomeMismatch`] as an error.
+#[derive(Debug)]
+struct ReplayError(OutcomeMismatch);
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Renders a digest stream as a digest file: `#`-prefixed header lines
+/// for provenance, then one lower-case 16-hex-digit digest per event.
+pub fn format_digest_file(header: &str, digests: &[u64]) -> String {
+    let mut out = String::new();
+    for line in header.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for d in digests {
+        out.push_str(&format!("{d:016x}\n"));
+    }
+    out
+}
+
+/// Parses a digest file produced by [`format_digest_file`].
+///
+/// # Panics
+///
+/// Panics on malformed lines — digest files are machine-written
+/// artifacts.
+pub fn parse_digest_file(text: &str) -> Vec<u64> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| u64::from_str_radix(l, 16).unwrap_or_else(|_| panic!("bad digest line {l:?}")))
+        .collect()
+}
+
+/// The first drift between a replayed digest stream and its recorded
+/// reference, if any: `(index, expected, got)`. A length mismatch
+/// reports at the shorter stream's end with `0` standing in for the
+/// missing side.
+pub fn first_digest_drift(expected: &[u64], got: &[u64]) -> Option<(usize, u64, u64)> {
+    for (i, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
+        if e != g {
+            return Some((i, *e, *g));
+        }
+    }
+    match expected.len().cmp(&got.len()) {
+        std::cmp::Ordering::Equal => None,
+        std::cmp::Ordering::Less => Some((expected.len(), 0, got[expected.len()])),
+        std::cmp::Ordering::Greater => Some((got.len(), expected[got.len()], 0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::scenario;
+
+    #[test]
+    fn digest_file_roundtrips() {
+        let digests = vec![0, 1, u64::MAX, 0xdead_beef];
+        let text = format_digest_file("churn n=24\nseed 7", &digests);
+        assert!(text.starts_with("# churn n=24\n# seed 7\n"));
+        assert_eq!(parse_digest_file(&text), digests);
+    }
+
+    #[test]
+    fn drift_detection_covers_divergence_and_truncation() {
+        assert_eq!(first_digest_drift(&[1, 2, 3], &[1, 2, 3]), None);
+        assert_eq!(first_digest_drift(&[1, 2, 3], &[1, 9, 3]), Some((1, 2, 9)));
+        assert_eq!(first_digest_drift(&[1, 2], &[1, 2, 3]), Some((2, 0, 3)));
+        assert_eq!(first_digest_drift(&[1, 2, 3], &[1, 2]), Some((2, 3, 0)));
+    }
+
+    #[test]
+    fn engine_and_dist_digest_streams_agree() {
+        let sc = scenario("er", 20, 60, 11);
+        let engine = replay_digests(&sc, ReplayBackend::Engine).expect("engine replay");
+        assert_eq!(engine.len(), 60);
+        for threads in [1, 3] {
+            let dist = replay_digests(&sc, ReplayBackend::Dist { threads }).expect("dist replay");
+            assert_eq!(
+                first_digest_drift(&engine, &dist),
+                None,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_passes_on_legal_traces() {
+        let sc = scenario("churn", 16, 40, 3);
+        assert_eq!(verify_engine_vs_dist(&sc, 2).expect("lockstep"), 40);
+    }
+}

@@ -159,6 +159,81 @@ impl RepairReport {
     }
 }
 
+/// A 64-bit FNV-1a accumulator for report digests.
+///
+/// Golden-trace regression files store one digest per event; the fold is
+/// spelled out here (no `std::hash`) so digests are stable across
+/// platforms, compiler releases and hasher-seed changes — any drift in a
+/// checked-in digest is a *behaviour* change, never an environment change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportDigest(u64);
+
+impl ReportDigest {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        ReportDigest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one 64-bit word into the digest, byte by byte.
+    pub fn word(mut self, w: u64) -> Self {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// The accumulated digest value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for ReportDigest {
+    fn default() -> Self {
+        ReportDigest::new()
+    }
+}
+
+impl InsertReport {
+    /// A stable structural digest of this report (see [`ReportDigest`]).
+    pub fn digest(&self) -> u64 {
+        ReportDigest::new()
+            .word(1) // outcome tag: insert
+            .word(u64::from(self.node.raw()))
+            .word(self.neighbors as u64)
+            .word(self.edges_added)
+            .value()
+    }
+}
+
+impl RepairReport {
+    /// A stable structural digest over every field (see [`ReportDigest`]).
+    pub fn digest(&self) -> u64 {
+        ReportDigest::new()
+            .word(2) // outcome tag: repair
+            .word(u64::from(self.deleted.raw()))
+            .word(self.ghost_degree as u64)
+            .word(self.alive_neighbors as u64)
+            .word(self.nodes_ever as u64)
+            .word(self.fragments as u64)
+            .word(self.trees_collected as u64)
+            .word(self.will_entries as u64)
+            .word(self.buckets as u64)
+            .word(self.affected_nodes as u64)
+            .word(self.edges_added)
+            .word(self.edges_dropped)
+            .word(self.helpers_created)
+            .word(self.helpers_freed)
+            .word(self.leaves_created)
+            .word(self.leaves_removed)
+            .word(u64::from(self.btv_rounds))
+            .word(u64::from(self.rt_leaves))
+            .word(u64::from(self.rt_depth))
+            .value()
+    }
+}
+
 /// The typed outcome of one adversarial event.
 #[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +287,15 @@ impl HealOutcome {
         match self {
             HealOutcome::Inserted { .. } => 0,
             HealOutcome::Repaired { report } => report.edges_dropped,
+        }
+    }
+
+    /// A stable structural digest of the outcome's report (see
+    /// [`ReportDigest`]) — what the golden-trace corpus records per event.
+    pub fn digest(&self) -> u64 {
+        match self {
+            HealOutcome::Inserted { report, .. } => report.digest(),
+            HealOutcome::Repaired { report } => report.digest(),
         }
     }
 }

@@ -50,7 +50,10 @@ pub mod plan;
 mod slot;
 mod stats;
 
-pub use api::{BatchReport, HealOutcome, HealerObserver, InsertReport, NoopObserver, RepairReport};
+pub use api::{
+    BatchReport, HealOutcome, HealerObserver, InsertReport, NoopObserver, RepairReport,
+    ReportDigest,
+};
 pub use engine::{ForgivingGraph, PlacementPolicy};
 pub use error::EngineError;
 pub use event::NetworkEvent;

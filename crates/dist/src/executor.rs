@@ -1,0 +1,688 @@
+//! The work-sharded round executor: one repair choreography, any thread
+//! count, bit-identical outputs.
+//!
+//! The protocol's synchronous rounds parallelize naturally — within a
+//! round every message is handled by its destination processor using
+//! only that processor's local state, so processors can be partitioned
+//! across worker threads ([`crate::ShardMap`]) and each shard can run its
+//! slice of a round independently. Two mechanisms make the thread count
+//! *unobservable* (DESIGN.md §9):
+//!
+//! 1. **Canonical delivery order.** Every message carries a
+//!    `(priority, sender, seq)` key ([`crate::message::OrderKey`]); each
+//!    shard sorts its round inbox by that key before handling. A
+//!    processor therefore handles its messages in the same total order
+//!    whether the round ran on one thread or sixteen.
+//! 2. **Effect logs merged at the barrier.** Handlers never mutate the
+//!    globally materialized observables (the image multigraph, the
+//!    `BT_v` root deposit, the streaming observer); they append
+//!    [`Effect`]s stamped with the triggering key. At the round barrier
+//!    the coordinator merges the per-shard logs into canonical order and
+//!    applies them — so the image, the observer callback stream and the
+//!    structural tallies are byte-for-byte independent of the sharding.
+//!
+//! Execution comes in two flavours behind one [`ProcStore`] surface:
+//! `Local` (thread count 1: processors owned inline, steps executed on
+//! the caller's thread) and `Pool` (a persistent `std::thread` worker
+//! pool owning the processors shard-wise, with per-round job fan-out
+//! over mpsc channels). Both run the *same* step functions
+//! ([`run_detect`], [`run_trigger`], [`run_deliver`]); the pool merely
+//! changes who calls them.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fg_core::plan::WireTree;
+use fg_core::{Slot, VKey};
+use fg_graph::NodeId;
+
+use crate::message::{Message, OrderKey};
+use crate::processor::{Ctx, Processor, RepairTally, Shared, VLinks};
+use crate::shard::ShardMap;
+
+/// One deferred mutation of the globally materialized state, recorded by
+/// a handler and applied by the coordinator at the round barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Effect {
+    /// Add (`added`) or drop one image edge unit between `u` and `v`.
+    Edge { u: NodeId, v: NodeId, added: bool },
+    /// The `BT_v` root deposits the final reconstruction tree.
+    BtvRoot(Option<WireTree>),
+}
+
+/// A flattened reconstruction-forest row, as `forest_snapshot` reports it.
+pub(crate) type SnapshotRow = (
+    VKey,
+    Option<VKey>,
+    Option<VKey>,
+    Option<VKey>,
+    u32,
+    u32,
+    Slot,
+);
+
+/// What one shard produced in one step: outgoing messages, the ordered
+/// effect log, and its partial structural tally.
+#[derive(Debug, Default)]
+pub(crate) struct StepOut {
+    pub outbox: Vec<Message>,
+    pub effects: Vec<(OrderKey, Effect)>,
+    pub tally: RepairTally,
+}
+
+/// The three phase-kickoff scans of the repair choreography.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Start the shatter walk at every fragment seed.
+    Walks,
+    /// Route every fragment's bucket to its smallest anchor.
+    Buckets,
+    /// Fire every `BT_v` position this processor anchors.
+    Merges,
+}
+
+/// Merges per-shard step outputs into one canonical step output.
+///
+/// Outboxes concatenate (delivery re-sorts per destination next round, so
+/// only the multiset matters); effect logs — each already ascending in
+/// its shard — stable-sort into the global canonical order; tallies sum.
+/// The result is invariant under how the work was sharded, which is the
+/// determinism argument's merge half (property-tested below).
+pub(crate) fn merge_steps(parts: Vec<StepOut>) -> StepOut {
+    let mut merged = StepOut::default();
+    for part in parts {
+        merged.outbox.extend(part.outbox);
+        merged.effects.extend(part.effects);
+        merged.tally.absorb(&part.tally);
+    }
+    merged.effects.sort_by_key(|(key, _)| *key);
+    merged
+}
+
+/// Runs the failure-detection step for `members` (global processor ids,
+/// ascending): each image neighbour of the victim processes the will.
+/// `loc` maps a global id to the caller's dense index.
+pub(crate) fn run_detect(
+    procs: &mut [Processor],
+    loc: impl Fn(usize) -> usize,
+    members: &[u32],
+    shared: &Shared,
+) -> StepOut {
+    let mut out = StepOut::default();
+    for &id in members {
+        let mut ctx = Ctx {
+            outbox: &mut out.outbox,
+            effects: &mut out.effects,
+            tally: &mut out.tally,
+            cur: (0, id, 0),
+        };
+        procs[loc(id as usize)].receive_will(shared, &mut ctx);
+    }
+    out
+}
+
+/// Runs one phase kickoff over every processor in `procs` (a shard's
+/// slice, ascending in global id). `global` maps a dense index back to
+/// the global id, which stamps the canonical effect keys.
+pub(crate) fn run_trigger(
+    procs: &mut [Processor],
+    global: impl Fn(usize) -> usize,
+    phase: Phase,
+    shared: &Shared,
+) -> StepOut {
+    let mut out = StepOut::default();
+    for (local, p) in procs.iter_mut().enumerate() {
+        let mut ctx = Ctx {
+            outbox: &mut out.outbox,
+            effects: &mut out.effects,
+            tally: &mut out.tally,
+            cur: (0, global(local) as u32, 0),
+        };
+        match phase {
+            Phase::Walks => p.start_walks(shared, &mut ctx),
+            Phase::Buckets => p.route_buckets(&mut ctx),
+            Phase::Merges => p.start_merges(shared, &mut ctx),
+        }
+    }
+    out
+}
+
+/// Delivers one round's messages to their destinations in canonical
+/// order. The slice handed in is a shard's partition of the round queue;
+/// sorting locally is equivalent to sorting globally because handling
+/// order only matters per destination processor, and a processor's
+/// messages all land in the same shard.
+pub(crate) fn run_deliver(
+    procs: &mut [Processor],
+    loc: impl Fn(usize) -> usize,
+    mut msgs: Vec<Message>,
+    shared: &Shared,
+) -> StepOut {
+    msgs.sort_by_key(Message::key);
+    let mut out = StepOut::default();
+    for msg in msgs {
+        let mut ctx = Ctx {
+            outbox: &mut out.outbox,
+            effects: &mut out.effects,
+            tally: &mut out.tally,
+            cur: msg.key(),
+        };
+        procs[loc(msg.dst.index())].handle(msg.payload, shared, &mut ctx);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------
+
+/// A job sent to one shard worker. Channel FIFO per worker is the only
+/// ordering the pool relies on: an `AddProc` always precedes any job that
+/// could address the new processor.
+pub(crate) enum Job {
+    /// A processor joined the network (global id; must belong to this
+    /// worker's shard).
+    AddProc(u32),
+    /// A repair begins: here is the victim's will and derived context.
+    Begin(Arc<Shared>),
+    /// Read out and clear the victim's virtual nodes (replies `Will`).
+    TakeWill(u32),
+    /// Failure detection for these member ids (replies `Step`).
+    Detect(Vec<u32>),
+    /// A phase kickoff over the whole shard (replies `Step`).
+    Trigger(Phase),
+    /// One round's messages for this shard (replies `Step`).
+    Deliver(Vec<Message>),
+    /// The repair quiesced: clear per-repair scratch (no reply).
+    EndRepair,
+    /// Flatten this shard's forest rows (replies `Rows`).
+    Snapshot,
+    /// Count this shard's live virtual nodes (replies `Count`).
+    VnodeCount,
+    /// Hand every processor back to the coordinator (replies `Procs`).
+    Collect,
+}
+
+/// A worker's reply to a coordinator request.
+pub(crate) enum Reply {
+    Will(Vec<(VKey, VLinks)>),
+    Step(StepOut),
+    Rows(Vec<SnapshotRow>),
+    Count(usize),
+    Procs(Vec<Processor>),
+}
+
+fn worker_main(
+    shard: usize,
+    map: ShardMap,
+    mut procs: Vec<Processor>,
+    jobs: &Receiver<Job>,
+    out: &Sender<Reply>,
+) {
+    let mut shared: Option<Arc<Shared>> = None;
+    let loc = |i: usize| map.local_of(i);
+    for job in jobs.iter() {
+        let reply = match job {
+            Job::AddProc(id) => {
+                debug_assert_eq!(
+                    map.local_of(id as usize),
+                    procs.len(),
+                    "AddProc out of order"
+                );
+                procs.push(Processor::new(NodeId::new(id)));
+                continue;
+            }
+            Job::Begin(s) => {
+                shared = Some(s);
+                continue;
+            }
+            Job::TakeWill(v) => Reply::Will(take_will_of(&mut procs[map.local_of(v as usize)])),
+            Job::Detect(members) => {
+                let s = shared.as_ref().expect("Begin precedes Detect");
+                Reply::Step(run_detect(&mut procs, loc, &members, s))
+            }
+            Job::Trigger(phase) => {
+                let s = shared.as_ref().expect("Begin precedes Trigger");
+                Reply::Step(run_trigger(
+                    &mut procs,
+                    |local| map.global_of(shard, local),
+                    phase,
+                    s,
+                ))
+            }
+            Job::Deliver(msgs) => {
+                let s = shared.as_ref().expect("Begin precedes Deliver");
+                Reply::Step(run_deliver(&mut procs, loc, msgs, s))
+            }
+            Job::EndRepair => {
+                shared = None;
+                for p in &mut procs {
+                    p.end_repair();
+                }
+                continue;
+            }
+            Job::Snapshot => Reply::Rows(snapshot_rows(&procs)),
+            Job::VnodeCount => Reply::Count(procs.iter().map(|p| p.vnodes.len()).sum()),
+            Job::Collect => Reply::Procs(std::mem::take(&mut procs)),
+        };
+        if out.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Reads out the victim's will — its virtual nodes' links, in key order —
+/// then clears the processor (the victim vanishes). One definition for
+/// both execution modes, so what the will captures can never drift
+/// between them.
+pub(crate) fn take_will_of(p: &mut Processor) -> Vec<(VKey, VLinks)> {
+    let links = p
+        .vnodes
+        .iter()
+        .map(|(k, n)| {
+            (
+                *k,
+                VLinks {
+                    parent: n.parent,
+                    left: n.left,
+                    right: n.right,
+                },
+            )
+        })
+        .collect();
+    p.vnodes.clear();
+    p.end_repair();
+    links
+}
+
+/// Flattens a processor slice into forest rows (unsorted).
+pub(crate) fn snapshot_rows(procs: &[Processor]) -> Vec<SnapshotRow> {
+    let mut rows = Vec::new();
+    for p in procs {
+        for (key, n) in p.vnodes.iter() {
+            rows.push((*key, n.parent, n.left, n.right, n.leaves, n.height, n.rep));
+        }
+    }
+    rows
+}
+
+/// The persistent shard workers behind a `Pool` store.
+pub(crate) struct WorkerPool {
+    map: ShardMap,
+    txs: Vec<Sender<Job>>,
+    rxs: Vec<Receiver<Reply>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Mirror of the total processor count across all shards.
+    n_procs: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.map.threads())
+            .field("n_procs", &self.n_procs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    fn spawn(procs: Vec<Processor>, threads: usize) -> Self {
+        let map = ShardMap::new(threads);
+        let threads = map.threads();
+        let n_procs = procs.len();
+        let mut shards: Vec<Vec<Processor>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, p) in procs.into_iter().enumerate() {
+            shards[map.shard_of(i)].push(p);
+        }
+        let mut txs = Vec::with_capacity(threads);
+        let mut rxs = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for (w, shard_procs) in shards.into_iter().enumerate() {
+            let (job_tx, job_rx) = channel::<Job>();
+            let (reply_tx, reply_rx) = channel::<Reply>();
+            let handle = std::thread::Builder::new()
+                .name(format!("fg-dist-shard-{w}"))
+                .spawn(move || worker_main(w, map, shard_procs, &job_rx, &reply_tx))
+                .expect("spawning shard worker");
+            txs.push(job_tx);
+            rxs.push(reply_rx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            map,
+            txs,
+            rxs,
+            handles,
+            n_procs,
+        }
+    }
+
+    fn send(&self, w: usize, job: Job) {
+        self.txs[w].send(job).expect("shard worker hung up");
+    }
+
+    fn recv(&self, w: usize) -> Reply {
+        self.rxs[w].recv().expect("shard worker panicked")
+    }
+
+    fn recv_step(&self, w: usize) -> StepOut {
+        match self.recv(w) {
+            Reply::Step(out) => out,
+            _ => unreachable!("worker replied out of protocol"),
+        }
+    }
+
+    /// Broadcasts a step job to every worker and merges the replies.
+    fn fan_step(&self, make: impl Fn() -> Job) -> StepOut {
+        for w in 0..self.txs.len() {
+            self.send(w, make());
+        }
+        merge_steps((0..self.rxs.len()).map(|w| self.recv_step(w)).collect())
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.txs.clear(); // close the job channels: workers drain and exit
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already reported on stderr; the pool
+            // owner is likely unwinding too, so swallow the join error.
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The store: one surface, two execution modes.
+// ---------------------------------------------------------------------
+
+/// Where the per-node actors live and how repair steps execute: inline on
+/// the caller's thread (`Local`, thread count 1) or sharded across a
+/// persistent worker pool (`Pool`).
+#[derive(Debug)]
+pub(crate) enum ProcStore {
+    Local(Vec<Processor>),
+    Pool(WorkerPool),
+}
+
+impl ProcStore {
+    /// An empty store running `threads` wide (1 ⇒ inline).
+    pub(crate) fn new(threads: usize) -> Self {
+        Self::from_procs(Vec::new(), threads)
+    }
+
+    /// Builds a store over existing processors.
+    pub(crate) fn from_procs(procs: Vec<Processor>, threads: usize) -> Self {
+        if threads <= 1 {
+            ProcStore::Local(procs)
+        } else {
+            ProcStore::Pool(WorkerPool::spawn(procs, threads))
+        }
+    }
+
+    /// Tears the store down, returning the processors in global-id order.
+    pub(crate) fn into_procs(self) -> Vec<Processor> {
+        match self {
+            ProcStore::Local(procs) => procs,
+            ProcStore::Pool(pool) => {
+                for w in 0..pool.txs.len() {
+                    pool.send(w, Job::Collect);
+                }
+                let mut parts: Vec<std::vec::IntoIter<Processor>> = (0..pool.rxs.len())
+                    .map(|w| match pool.recv(w) {
+                        Reply::Procs(procs) => procs.into_iter(),
+                        _ => unreachable!("worker replied out of protocol"),
+                    })
+                    .collect();
+                let mut procs = Vec::with_capacity(pool.n_procs);
+                for g in 0..pool.n_procs {
+                    let part = &mut parts[pool.map.shard_of(g)];
+                    procs.push(part.next().expect("shard undercounted"));
+                }
+                procs
+            }
+        }
+    }
+
+    /// The execution width (1 for `Local`).
+    pub(crate) fn threads(&self) -> usize {
+        match self {
+            ProcStore::Local(_) => 1,
+            ProcStore::Pool(pool) => pool.map.threads(),
+        }
+    }
+
+    /// Total processors (alive and dead).
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ProcStore::Local(procs) => procs.len(),
+            ProcStore::Pool(pool) => pool.n_procs,
+        }
+    }
+
+    /// Registers the next processor; `id` must equal [`ProcStore::len`].
+    pub(crate) fn add_proc(&mut self, id: NodeId) {
+        debug_assert_eq!(id.index(), self.len(), "processor ids are dense");
+        match self {
+            ProcStore::Local(procs) => procs.push(Processor::new(id)),
+            ProcStore::Pool(pool) => {
+                pool.send(pool.map.shard_of(id.index()), Job::AddProc(id.raw()));
+                pool.n_procs += 1;
+            }
+        }
+    }
+
+    /// Announces a repair's shared context to every executor.
+    pub(crate) fn begin(&mut self, shared: &Arc<Shared>) {
+        match self {
+            ProcStore::Local(_) => {}
+            ProcStore::Pool(pool) => {
+                for w in 0..pool.txs.len() {
+                    pool.send(w, Job::Begin(Arc::clone(shared)));
+                }
+            }
+        }
+    }
+
+    /// Reads out and clears the victim's virtual nodes — the raw will.
+    pub(crate) fn take_will(&mut self, v: NodeId) -> Vec<(VKey, VLinks)> {
+        match self {
+            ProcStore::Local(procs) => take_will_of(&mut procs[v.index()]),
+            ProcStore::Pool(pool) => {
+                let w = pool.map.shard_of(v.index());
+                pool.send(w, Job::TakeWill(v.raw()));
+                match pool.recv(w) {
+                    Reply::Will(links) => links,
+                    _ => unreachable!("worker replied out of protocol"),
+                }
+            }
+        }
+    }
+
+    /// The failure-detection step over the victim's image neighbours
+    /// (`affected` ascending).
+    pub(crate) fn detect(&mut self, affected: &[NodeId], shared: &Shared) -> StepOut {
+        match self {
+            ProcStore::Local(procs) => {
+                let members: Vec<u32> = affected.iter().map(|u| u.raw()).collect();
+                run_detect(procs, |i| i, &members, shared)
+            }
+            ProcStore::Pool(pool) => {
+                let mut members: Vec<Vec<u32>> = vec![Vec::new(); pool.txs.len()];
+                for u in affected {
+                    members[pool.map.shard_of(u.index())].push(u.raw());
+                }
+                let mut busy = Vec::new();
+                for (w, ids) in members.into_iter().enumerate() {
+                    if !ids.is_empty() {
+                        pool.send(w, Job::Detect(ids));
+                        busy.push(w);
+                    }
+                }
+                merge_steps(busy.into_iter().map(|w| pool.recv_step(w)).collect())
+            }
+        }
+    }
+
+    /// One phase kickoff over every processor.
+    pub(crate) fn trigger(&mut self, phase: Phase, shared: &Shared) -> StepOut {
+        match self {
+            ProcStore::Local(procs) => run_trigger(procs, |i| i, phase, shared),
+            ProcStore::Pool(pool) => pool.fan_step(|| Job::Trigger(phase)),
+        }
+    }
+
+    /// Delivers one round of messages and returns the next round's seeds.
+    pub(crate) fn deliver(&mut self, queue: Vec<Message>, shared: &Shared) -> StepOut {
+        match self {
+            ProcStore::Local(procs) => run_deliver(procs, |i| i, queue, shared),
+            ProcStore::Pool(pool) => {
+                let mut per: Vec<Vec<Message>> = vec![Vec::new(); pool.txs.len()];
+                for msg in queue {
+                    per[pool.map.shard_of(msg.dst.index())].push(msg);
+                }
+                let mut busy = Vec::new();
+                for (w, msgs) in per.into_iter().enumerate() {
+                    if !msgs.is_empty() {
+                        pool.send(w, Job::Deliver(msgs));
+                        busy.push(w);
+                    }
+                }
+                merge_steps(busy.into_iter().map(|w| pool.recv_step(w)).collect())
+            }
+        }
+    }
+
+    /// Clears every processor's per-repair scratch after quiescence.
+    pub(crate) fn end_repair(&mut self) {
+        match self {
+            ProcStore::Local(procs) => {
+                for p in procs {
+                    p.end_repair();
+                }
+            }
+            ProcStore::Pool(pool) => {
+                // Fire-and-forget: per-worker FIFO means the clear lands
+                // before any job of the next repair.
+                for w in 0..pool.txs.len() {
+                    pool.send(w, Job::EndRepair);
+                }
+            }
+        }
+    }
+
+    /// Flattens the distributed forest (unsorted rows).
+    pub(crate) fn snapshot(&self) -> Vec<SnapshotRow> {
+        match self {
+            ProcStore::Local(procs) => snapshot_rows(procs),
+            ProcStore::Pool(pool) => {
+                for w in 0..pool.txs.len() {
+                    pool.send(w, Job::Snapshot);
+                }
+                let mut rows = Vec::new();
+                for w in 0..pool.rxs.len() {
+                    match pool.recv(w) {
+                        Reply::Rows(mut part) => rows.append(&mut part),
+                        _ => unreachable!("worker replied out of protocol"),
+                    }
+                }
+                rows
+            }
+        }
+    }
+
+    /// Live virtual nodes across all processors.
+    pub(crate) fn vnode_count(&self) -> usize {
+        match self {
+            ProcStore::Local(procs) => procs.iter().map(|p| p.vnodes.len()).sum(),
+            ProcStore::Pool(pool) => {
+                for w in 0..pool.txs.len() {
+                    pool.send(w, Job::VnodeCount);
+                }
+                (0..pool.rxs.len())
+                    .map(|w| match pool.recv(w) {
+                        Reply::Count(c) => c,
+                        _ => unreachable!("worker replied out of protocol"),
+                    })
+                    .sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn edge(key: OrderKey) -> (OrderKey, Effect) {
+        (
+            key,
+            Effect::Edge {
+                u: NodeId::new(key.1),
+                v: NodeId::new(key.2),
+                added: key.0.is_multiple_of(2),
+            },
+        )
+    }
+
+    proptest! {
+        /// The shard merge is a permutation-invariant total order: however
+        /// a round's effects are partitioned across shards (each shard log
+        /// ascending, as the executor guarantees), the merged log is the
+        /// one globally sorted sequence.
+        #[test]
+        fn merge_is_partition_invariant(
+            raw in prop::collection::vec((0u8..4, 0u32..50, 0u32..50), 0..60),
+            assign in prop::collection::vec(0usize..5, 0..60),
+        ) {
+            // Distinct keys (the executor's per-sender seq guarantees
+            // this); duplicates collapse through a set.
+            let mut keys: Vec<OrderKey> = raw;
+            keys.sort_unstable();
+            keys.dedup();
+
+            // Reference: the single-shard (sequential) log.
+            let reference: Vec<(OrderKey, Effect)> =
+                keys.iter().copied().map(edge).collect();
+
+            // Partition into up to 5 "shards" by the assignment tape, each
+            // kept ascending — exactly what per-shard execution produces.
+            let mut shards: Vec<Vec<(OrderKey, Effect)>> = vec![Vec::new(); 5];
+            for (i, key) in keys.iter().enumerate() {
+                let w = assign.get(i).copied().unwrap_or(0) % 5;
+                shards[w].push(edge(*key));
+            }
+            let parts: Vec<StepOut> = shards
+                .into_iter()
+                .map(|effects| StepOut {
+                    effects,
+                    ..StepOut::default()
+                })
+                .collect();
+            let merged = merge_steps(parts);
+            prop_assert_eq!(merged.effects, reference);
+        }
+
+        /// Tallies merge by summation regardless of the partition.
+        #[test]
+        fn tallies_sum_across_shards(counts in prop::collection::vec(0u64..100, 1..6)) {
+            let parts: Vec<StepOut> = counts
+                .iter()
+                .map(|&c| {
+                    let mut out = StepOut::default();
+                    out.tally.helpers_created = c;
+                    out.tally.fragments = c as usize;
+                    out
+                })
+                .collect();
+            let merged = merge_steps(parts);
+            prop_assert_eq!(merged.tally.helpers_created, counts.iter().sum::<u64>());
+            prop_assert_eq!(
+                merged.tally.fragments,
+                counts.iter().map(|&c| c as usize).sum::<usize>()
+            );
+        }
+    }
+}

@@ -55,6 +55,27 @@ impl DistHealer {
         DistHealer::new(Network::from_graph(g, policy))
     }
 
+    /// [`DistHealer::from_graph`] with repairs executed across `threads`
+    /// shard workers (see [`Network::from_graph_threaded`]); every
+    /// observable is bit-identical at any width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` contains removed (tombstoned) nodes.
+    pub fn from_graph_threaded(g: &Graph, policy: PlacementPolicy, threads: usize) -> Self {
+        DistHealer::new(Network::from_graph_threaded(g, policy, threads))
+    }
+
+    /// The executor width (see [`Network::threads`]).
+    pub fn threads(&self) -> usize {
+        self.net.threads()
+    }
+
+    /// Re-shards the executor (see [`Network::set_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.net.set_threads(threads);
+    }
+
     /// The underlying protocol network (forest snapshots, vnode counts).
     pub fn network(&self) -> &Network {
         &self.net

@@ -51,11 +51,14 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod executor;
 mod healer;
 mod message;
 mod network;
 mod processor;
+mod shard;
 
 pub use cost::RepairCost;
 pub use healer::DistHealer;
 pub use network::Network;
+pub use shard::ShardMap;

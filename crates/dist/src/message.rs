@@ -115,12 +115,31 @@ impl Payload {
     }
 }
 
+/// The canonical within-round delivery key: `(priority, sender, seq)`.
+///
+/// Priorities encode the protocol's only real ordering constraints (see
+/// [`Payload::priority`]); the `(sender, seq)` tiebreak is an arbitrary
+/// but *total* deterministic order, so every executor — sequential or
+/// work-sharded across any number of threads — delivers a round's
+/// messages identically. Within one round the key is unique: a sender
+/// numbers its outgoing messages with a per-repair counter.
+pub(crate) type OrderKey = (u8, u32, u32);
+
 /// An addressed in-flight message.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Message {
     pub src: NodeId,
     pub dst: NodeId,
+    /// Per-sender sequence number (monotone within one repair).
+    pub seq: u32,
     pub payload: Payload,
+}
+
+impl Message {
+    /// The canonical delivery key of this message.
+    pub(crate) fn key(&self) -> OrderKey {
+        (self.payload.priority(), self.src.raw(), self.seq)
+    }
 }
 
 #[cfg(test)]

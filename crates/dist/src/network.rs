@@ -2,6 +2,8 @@
 //! round-based scheduler, plus the globally materialized views
 //! (`G'`, the image, liveness) that measurements read.
 
+use std::sync::Arc;
+
 use fg_core::plan::WireTree;
 use fg_core::{
     EngineError, HealerObserver, ImageGraph, InsertReport, NoopObserver, PlacementPolicy,
@@ -10,8 +12,9 @@ use fg_core::{
 use fg_graph::{Graph, NodeId, SortedMap, SortedSet};
 
 use crate::cost::{ceil_log2, RepairCost};
+use crate::executor::{Effect, Phase, ProcStore, StepOut};
 use crate::message::Message;
-use crate::processor::{Ctx, Processor, RepairTally, Shared, VLinks};
+use crate::processor::{RepairTally, Shared, VLinks};
 
 /// A self-healing network running the Forgiving Graph's repair as a
 /// message-passing protocol (paper §4 / Lemma 4).
@@ -44,7 +47,7 @@ pub struct Network {
     alive: Vec<bool>,
     image: ImageGraph,
     policy: PlacementPolicy,
-    procs: Vec<Processor>,
+    store: ProcStore,
     /// Accounting for every repair this network has run, in order.
     pub repair_costs: Vec<RepairCost>,
 }
@@ -52,12 +55,30 @@ pub struct Network {
 impl Network {
     /// Adopts an existing network as `G_0` — pure state initialisation,
     /// no preprocessing messages (the paper's improvement over the
-    /// Forgiving Tree's `O(n log n)` setup).
+    /// Forgiving Tree's `O(n log n)` setup). Runs single-threaded; see
+    /// [`Network::from_graph_threaded`].
     ///
     /// # Panics
     ///
     /// Panics if `g` contains removed (tombstoned) nodes.
     pub fn from_graph(g: &Graph, policy: PlacementPolicy) -> Self {
+        Self::from_graph_threaded(g, policy, 1)
+    }
+
+    /// [`Network::from_graph`] with repairs executed by a work-sharded
+    /// pool of `threads` worker threads (clamped to ≥ 1; 1 means inline
+    /// sequential execution, no pool).
+    ///
+    /// The thread count is an execution knob, not a semantic one: the
+    /// canonical round order makes every observable — reports, costs,
+    /// image, ghost, forest, even the observer callback stream —
+    /// bit-identical at any width (DESIGN.md §9; asserted over all
+    /// differential traces by `tests/parallel_determinism.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` contains removed (tombstoned) nodes.
+    pub fn from_graph_threaded(g: &Graph, policy: PlacementPolicy, threads: usize) -> Self {
         assert_eq!(
             g.node_count(),
             g.nodes_ever(),
@@ -68,14 +89,14 @@ impl Network {
             alive: Vec::new(),
             image: ImageGraph::new(),
             policy,
-            procs: Vec::new(),
+            store: ProcStore::new(threads),
             repair_costs: Vec::new(),
         };
         for i in 0..g.node_count() {
             net.ghost.add_node();
             net.image.add_node();
             net.alive.push(true);
-            net.procs.push(Processor::new(NodeId::new(i as u32)));
+            net.store.add_proc(NodeId::new(i as u32));
         }
         for e in g.edges() {
             net.ghost
@@ -84,6 +105,24 @@ impl Network {
             net.image.inc(e.lo(), e.hi());
         }
         net
+    }
+
+    /// The executor width: 1 when repairs run inline, otherwise the
+    /// worker-pool thread count.
+    pub fn threads(&self) -> usize {
+        self.store.threads()
+    }
+
+    /// Re-shards the actors onto a pool of `threads` workers (1 tears the
+    /// pool down and goes back to inline execution). Cheap outside of
+    /// repairs; every observable is unaffected.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads == self.store.threads() {
+            return;
+        }
+        let procs = std::mem::replace(&mut self.store, ProcStore::new(1)).into_procs();
+        self.store = ProcStore::from_procs(procs, threads);
     }
 
     /// The insert-only graph `G'`.
@@ -118,7 +157,7 @@ impl Network {
 
     /// Number of virtual nodes currently alive across all processors.
     pub fn vnode_count(&self) -> usize {
-        self.procs.iter().map(|p| p.vnodes.len()).sum()
+        self.store.vnode_count()
     }
 
     /// The distributed reconstruction forest, flattened for comparison
@@ -137,12 +176,7 @@ impl Network {
         u32,
         Slot,
     )> {
-        let mut out = Vec::new();
-        for p in &self.procs {
-            for (key, n) in p.vnodes.iter() {
-                out.push((*key, n.parent, n.left, n.right, n.leaves, n.height, n.rep));
-            }
-        }
+        let mut out = self.store.snapshot();
         out.sort_by_key(|entry| entry.0);
         out
     }
@@ -189,7 +223,7 @@ impl Network {
         let iv = self.image.add_node();
         debug_assert_eq!(v, iv, "ghost and image ids must stay aligned");
         self.alive.push(true);
-        self.procs.push(Processor::new(v));
+        self.store.add_proc(v);
         for &x in neighbors {
             self.ghost.add_edge(v, x).expect("fresh node, fresh edges");
             self.image.inc(v, x);
@@ -273,20 +307,7 @@ impl Network {
             .neighbors(v)
             .filter(|&x| self.is_alive(x))
             .collect();
-        let removed: SortedMap<VKey, VLinks> = self.procs[v.index()]
-            .vnodes
-            .iter()
-            .map(|(k, n)| {
-                (
-                    *k,
-                    VLinks {
-                        parent: n.parent,
-                        left: n.left,
-                        right: n.right,
-                    },
-                )
-            })
-            .collect();
+        let removed: SortedMap<VKey, VLinks> = self.store.take_will(v).into_iter().collect();
         let mut anchor_set = SortedSet::new();
         for links in removed.values() {
             for adj in links
@@ -303,14 +324,14 @@ impl Network {
         for &x in &alive_nbrs {
             anchor_set.insert(Slot::new(x, v).real());
         }
-        let shared = Shared {
+        let shared = Arc::new(Shared {
             victim: v,
             alive_nbrs,
             removed,
             anchors: anchor_set.iter().copied().collect(),
             anchor_set,
             policy: self.policy,
-        };
+        });
         self.alive[v.index()] = false;
 
         // The victim's processor vanishes; internal tree edges between two
@@ -330,113 +351,54 @@ impl Network {
                 }
             }
         }
-        self.procs[v.index()].vnodes.clear();
-        self.procs[v.index()].end_repair();
         for _ in 0..victim_internal {
             self.image.dec(v, v);
             tally.edges_dropped += 1;
             obs.on_repair_edge(v, v, false);
         }
 
-        // Detection round: every image neighbour processes the will.
+        // Hand the repair context to every executor, then run the phases:
+        // failure detection at the victim's image neighbours, the taint
+        // climb it seeds (phase 1), and one kickoff + message burst for
+        // each of the shatter walk (2), bucket routing (3) and the
+        // bottom-up BT_v merge (4). Each burst runs to quiescence through
+        // the work-sharded executor; effects surface at the barriers.
+        self.store.begin(&shared);
         let affected: Vec<NodeId> = self.image.simple().neighbor_vec(v);
         let mut btv_root: Option<WireTree> = None;
-        let mut queue: Vec<Message> = Vec::new();
+
         cost.rounds += 1;
-        for u in &affected {
-            let mut outbox = Vec::new();
-            self.procs[u.index()].receive_will(
+        let step = self.store.detect(&affected, &shared);
+        let queue = self.absorb(step, name_bits, &mut cost, &mut tally, &mut btv_root, obs);
+        self.drain(
+            queue,
+            &shared,
+            name_bits,
+            &mut cost,
+            &mut tally,
+            &mut btv_root,
+            obs,
+        );
+        for phase in [Phase::Walks, Phase::Buckets, Phase::Merges] {
+            cost.rounds += 1;
+            let step = self.store.trigger(phase, &shared);
+            let queue = self.absorb(step, name_bits, &mut cost, &mut tally, &mut btv_root, obs);
+            self.drain(
+                queue,
                 &shared,
-                &mut Ctx {
-                    outbox: &mut outbox,
-                    image: &mut self.image,
-                    btv_root: &mut btv_root,
-                    tally: &mut tally,
-                    obs: &mut *obs,
-                },
+                name_bits,
+                &mut cost,
+                &mut tally,
+                &mut btv_root,
+                obs,
             );
-            Self::tally(&outbox, name_bits, &mut cost);
-            queue.extend(outbox);
         }
-
-        // Phase 1 — taint climbs to the affected roots.
-        self.run_rounds(
-            queue,
-            &shared,
-            &mut btv_root,
-            name_bits,
-            &mut cost,
-            &mut tally,
-            obs,
-        );
-
-        // Phase 2 — the shatter walk from every fragment seed.
-        let queue = self.trigger(
-            &shared,
-            &mut btv_root,
-            name_bits,
-            &mut cost,
-            &mut tally,
-            obs,
-            |p, s, c| p.start_walks(s, c),
-        );
-        self.run_rounds(
-            queue,
-            &shared,
-            &mut btv_root,
-            name_bits,
-            &mut cost,
-            &mut tally,
-            obs,
-        );
-
-        // Phase 3 — buckets travel to each fragment's smallest anchor.
-        let queue = self.trigger(
-            &shared,
-            &mut btv_root,
-            name_bits,
-            &mut cost,
-            &mut tally,
-            obs,
-            |p, _, c| p.route_buckets(c),
-        );
-        self.run_rounds(
-            queue,
-            &shared,
-            &mut btv_root,
-            name_bits,
-            &mut cost,
-            &mut tally,
-            obs,
-        );
-
-        // Phase 4 — bottom-up BT_v merge to a single reconstruction tree.
-        let queue = self.trigger(
-            &shared,
-            &mut btv_root,
-            name_bits,
-            &mut cost,
-            &mut tally,
-            obs,
-            |p, s, c| p.start_merges(s, c),
-        );
-        self.run_rounds(
-            queue,
-            &shared,
-            &mut btv_root,
-            name_bits,
-            &mut cost,
-            &mut tally,
-            obs,
-        );
 
         // Quiesced: the victim is fully detached. Repair scratch is
         // cleared everywhere — the taint climb, strips and plan execution
         // reach processors far beyond the victim's neighbourhood.
         self.image.remove_node(v);
-        for p in &mut self.procs {
-            p.end_repair();
-        }
+        self.store.end_repair();
 
         // The structural report — field for field what the sequential
         // engine computes from its own stats deltas, derived here from the
@@ -482,75 +444,59 @@ impl Network {
         Ok((report, cost))
     }
 
-    /// Runs one local step at every processor (a phase kickoff), returning
-    /// the emitted messages. Counts as one synchronous round.
+    /// Folds one barrier-merged step into the coordinator state: counts
+    /// the freshly sent messages against the Lemma 4 budget, sums the
+    /// shard tallies, and applies the canonical effect log — image edge
+    /// units (streamed to `obs` as they land) and the `BT_v` root
+    /// deposit. Returns the outbox seeding the next round.
     #[allow(clippy::too_many_arguments)]
-    fn trigger<F>(
+    fn absorb(
         &mut self,
-        shared: &Shared,
-        btv_root: &mut Option<WireTree>,
+        step: StepOut,
         name_bits: u64,
         cost: &mut RepairCost,
-        repair_tally: &mut RepairTally,
+        tally: &mut RepairTally,
+        btv_root: &mut Option<WireTree>,
         obs: &mut dyn HealerObserver,
-        mut step: F,
-    ) -> Vec<Message>
-    where
-        F: FnMut(&mut Processor, &Shared, &mut Ctx<'_>),
-    {
-        cost.rounds += 1;
-        let mut queue = Vec::new();
-        for p in &mut self.procs {
-            let mut outbox = Vec::new();
-            step(
-                p,
-                shared,
-                &mut Ctx {
-                    outbox: &mut outbox,
-                    image: &mut self.image,
-                    btv_root,
-                    tally: repair_tally,
-                    obs: &mut *obs,
-                },
-            );
-            Self::tally(&outbox, name_bits, cost);
-            queue.extend(outbox);
+    ) -> Vec<Message> {
+        Self::tally(&step.outbox, name_bits, cost);
+        tally.absorb(&step.tally);
+        for (_key, effect) in step.effects {
+            match effect {
+                Effect::Edge { u, v, added: true } => {
+                    self.image.inc(u, v);
+                    tally.edges_added += 1;
+                    obs.on_repair_edge(u, v, true);
+                }
+                Effect::Edge { u, v, added: false } => {
+                    self.image.dec(u, v);
+                    tally.edges_dropped += 1;
+                    obs.on_repair_edge(u, v, false);
+                }
+                Effect::BtvRoot(root) => *btv_root = root,
+            }
         }
-        queue
+        step.outbox
     }
 
-    /// Delivers messages round by round until the network quiesces.
+    /// Delivers messages round by round until the network quiesces: each
+    /// iteration is one synchronous round, executed by the store (inline
+    /// or work-sharded) and folded back in at the barrier.
     #[allow(clippy::too_many_arguments)]
-    fn run_rounds(
+    fn drain(
         &mut self,
         mut queue: Vec<Message>,
         shared: &Shared,
-        btv_root: &mut Option<WireTree>,
         name_bits: u64,
         cost: &mut RepairCost,
-        repair_tally: &mut RepairTally,
+        tally: &mut RepairTally,
+        btv_root: &mut Option<WireTree>,
         obs: &mut dyn HealerObserver,
     ) {
         while !queue.is_empty() {
             cost.rounds += 1;
-            // Stable intra-round ordering (see `Payload::priority`).
-            queue.sort_by_key(|m| m.payload.priority());
-            let mut outbox = Vec::new();
-            for msg in queue.drain(..) {
-                self.procs[msg.dst.index()].handle(
-                    msg.payload,
-                    shared,
-                    &mut Ctx {
-                        outbox: &mut outbox,
-                        image: &mut self.image,
-                        btv_root,
-                        tally: repair_tally,
-                        obs,
-                    },
-                );
-            }
-            Self::tally(&outbox, name_bits, cost);
-            queue = outbox;
+            let step = self.store.deliver(queue, shared);
+            queue = self.absorb(step, name_bits, cost, tally, btv_root, obs);
         }
     }
 
@@ -685,6 +631,59 @@ mod tests {
             (net.forest_snapshot(), costs)
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn thread_count_is_unobservable() {
+        // The tentpole claim in miniature (the full 144-trace sweep lives
+        // in tests/parallel_determinism.rs): costs, forests, images and
+        // reports are bit-identical at every executor width.
+        let run = |threads: usize| {
+            let g = generators::connected_erdos_renyi(22, 0.14, 8);
+            let mut net = Network::from_graph_threaded(&g, PlacementPolicy::Adjacent, threads);
+            assert_eq!(net.threads(), threads.max(1));
+            let mut reports = Vec::new();
+            for i in [0u32, 5, 9, 1, 14] {
+                reports.push(net.delete_with(n(i), &mut fg_core::NoopObserver).unwrap());
+            }
+            let inserted = net.insert(&[n(3), n(7)]).unwrap();
+            reports.push(
+                net.delete_with(inserted, &mut fg_core::NoopObserver)
+                    .unwrap(),
+            );
+            (
+                net.forest_snapshot(),
+                net.repair_costs.clone(),
+                net.image().clone(),
+                net.ghost().clone(),
+                reports,
+            )
+        };
+        let reference = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(threads), reference, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn set_threads_reshards_without_observable_change() {
+        let g = generators::connected_erdos_renyi(20, 0.15, 4);
+        let mut net = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        net.delete(n(2)).unwrap();
+        let before = net.forest_snapshot();
+        net.set_threads(3);
+        assert_eq!(net.threads(), 3);
+        assert_eq!(net.forest_snapshot(), before, "resharding moved state");
+        net.delete(n(5)).unwrap();
+        net.set_threads(1);
+        assert_eq!(net.threads(), 1);
+
+        // The same trace run flat matches the mid-flight reshard.
+        let mut flat = Network::from_graph(&g, PlacementPolicy::Adjacent);
+        flat.delete(n(2)).unwrap();
+        flat.delete(n(5)).unwrap();
+        assert_eq!(net.forest_snapshot(), flat.forest_snapshot());
+        assert_eq!(net.repair_costs, flat.repair_costs);
     }
 
     #[test]

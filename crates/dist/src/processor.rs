@@ -8,17 +8,18 @@
 //! replicated to its image neighbours while alive).
 
 use fg_core::plan::{plan_compute_haft, WireTree};
-use fg_core::{HealerObserver, ImageGraph, PlacementPolicy, Slot, VKey};
+use fg_core::{PlacementPolicy, Slot, VKey};
 use fg_graph::{NodeId, SortedMap, SortedSet};
 
-use crate::message::{Message, Payload, Target};
+use crate::executor::Effect;
+use crate::message::{Message, OrderKey, Payload, Target};
 
 /// Structural accounting for one repair, filled in as the protocol runs —
 /// the distributed counterpart of the quantities the sequential engine
 /// reads off its own stats. The simulator aggregates these globally (it
 /// can see every actor); a deployment would fold them into the repair's
 /// existing message flow.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub(crate) struct RepairTally {
     pub fragments: usize,
     pub trees_collected: usize,
@@ -29,6 +30,23 @@ pub(crate) struct RepairTally {
     pub helpers_freed: u64,
     pub leaves_created: u64,
     pub leaves_removed: u64,
+}
+
+impl RepairTally {
+    /// Folds a shard's partial tally into this one. Every field is a sum,
+    /// so the fold is order-independent — shard tallies merge to the same
+    /// totals at any thread count.
+    pub(crate) fn absorb(&mut self, part: &RepairTally) {
+        self.fragments += part.fragments;
+        self.trees_collected += part.trees_collected;
+        self.buckets += part.buckets;
+        self.edges_added += part.edges_added;
+        self.edges_dropped += part.edges_dropped;
+        self.helpers_created += part.helpers_created;
+        self.helpers_freed += part.helpers_freed;
+        self.leaves_created += part.leaves_created;
+        self.leaves_removed += part.leaves_removed;
+    }
 }
 
 /// One virtual node's local record — the distributed counterpart of the
@@ -91,31 +109,40 @@ impl Shared {
     }
 }
 
-/// Mutable per-message environment: outbound messages, the materialized
-/// image (the simulator's global observable), the slot where the `BT_v`
-/// root deposits the final reconstruction tree, the repair's structural
-/// tally, and the streaming observer.
+/// Mutable per-step environment for one handler invocation.
+///
+/// Handlers never touch global observables directly: they append
+/// outbound messages and *effects* (image edge units, the `BT_v` root
+/// deposit), each stamped with the canonical [`OrderKey`] of the message
+/// or trigger being processed (`cur`). The coordinator merges the
+/// per-shard effect logs at the round barrier and applies them in
+/// canonical order — which is what makes the thread count unobservable
+/// (DESIGN.md §9). Structural counters accumulate in a per-shard
+/// [`RepairTally`] and merge by summation.
 pub(crate) struct Ctx<'a> {
     pub outbox: &'a mut Vec<Message>,
-    pub image: &'a mut ImageGraph,
-    pub btv_root: &'a mut Option<WireTree>,
+    pub effects: &'a mut Vec<(OrderKey, Effect)>,
     pub tally: &'a mut RepairTally,
-    pub obs: &'a mut dyn HealerObserver,
+    /// Canonical key of the message/trigger this handler is running for.
+    pub cur: OrderKey,
 }
 
 impl Ctx<'_> {
-    /// Adds one image edge unit, tallying and streaming it.
+    /// Records one image edge unit to add at the barrier.
     fn edge_add(&mut self, u: NodeId, v: NodeId) {
-        self.image.inc(u, v);
-        self.tally.edges_added += 1;
-        self.obs.on_repair_edge(u, v, true);
+        self.effects
+            .push((self.cur, Effect::Edge { u, v, added: true }));
     }
 
-    /// Drops one image edge unit, tallying and streaming it.
+    /// Records one image edge unit to drop at the barrier.
     fn edge_drop(&mut self, u: NodeId, v: NodeId) {
-        self.image.dec(u, v);
-        self.tally.edges_dropped += 1;
-        self.obs.on_repair_edge(u, v, false);
+        self.effects
+            .push((self.cur, Effect::Edge { u, v, added: false }));
+    }
+
+    /// Records the `BT_v` root's final reconstruction-tree deposit.
+    fn set_btv_root(&mut self, root: Option<WireTree>) {
+        self.effects.push((self.cur, Effect::BtvRoot(root)));
     }
 }
 
@@ -146,6 +173,11 @@ pub(crate) struct Processor {
     tainted: SortedSet<VKey>,
     pub seeds: SortedMap<VKey, SeedState>,
     pub duties: SortedMap<VKey, AnchorDuty>,
+    /// Outgoing-message counter for canonical ordering; monotone within a
+    /// repair, reset at quiescence. A processor's handling sequence is
+    /// itself canonical, so these numbers are identical at any thread
+    /// count.
+    next_seq: u32,
 }
 
 impl Processor {
@@ -161,12 +193,16 @@ impl Processor {
         self.tainted.clear();
         self.seeds.clear();
         self.duties.clear();
+        self.next_seq = 0;
     }
 
-    fn send(&self, ctx: &mut Ctx<'_>, dst: NodeId, payload: Payload) {
+    fn send(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, payload: Payload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         ctx.outbox.push(Message {
             src: self.id,
             dst,
+            seq,
             payload,
         });
     }
@@ -373,7 +409,7 @@ impl Processor {
             Some(plan.output)
         };
         if pos == 0 {
-            *ctx.btv_root = output;
+            ctx.set_btv_root(output);
         } else {
             let parent = shared.anchors[(pos - 1) / 2];
             self.send(

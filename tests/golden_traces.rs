@@ -1,0 +1,126 @@
+//! Golden-trace regression corpus: three small canonical traces (churn,
+//! hub-cascade, partition-then-heal) live under `tests/golden/` next to
+//! the digest stream of their per-event typed outcomes (one stable
+//! [`fg_core::ReportDigest`] per event, as written by
+//! `fg_bench::replay::format_digest_file`).
+//!
+//! Any drift — a different report for any event, a missing event, an
+//! extra event — fails the replay test with the exact event index. The
+//! digests are environment-independent (explicit FNV-1a, no `std::hash`),
+//! so a failure here is always a *behaviour* change. If the change is
+//! intentional, regenerate the corpus and review the new files in the
+//! diff:
+//!
+//! ```text
+//! cargo test -p forgiving-graph --test golden_traces -- --ignored
+//! ```
+//!
+//! [`fg_core::ReportDigest`]: forgiving_graph::core::ReportDigest
+
+use forgiving_graph::bench::replay::{
+    first_digest_drift, format_digest_file, parse_digest_file, replay_digests, ReplayBackend,
+};
+use forgiving_graph::bench::{scenario, Scenario};
+use std::path::PathBuf;
+
+/// The corpus: `(workload, n, events, seed)` — small enough to replay in
+/// milliseconds, varied enough to exercise churn, targeted hub kills and
+/// partition healing.
+const CORPUS: &[(&str, usize, usize, u64)] = &[
+    ("churn", 24, 120, 7),
+    ("hub-cascade", 24, 120, 7),
+    ("partition-then-heal", 24, 120, 7),
+];
+
+fn golden_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/umbrella; the corpus lives at the
+    // repository root next to this test's source.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn load(name: &str) -> (Scenario, Vec<u64>) {
+    let dir = golden_dir();
+    let trace = std::fs::read_to_string(dir.join(format!("{name}.trace")))
+        .unwrap_or_else(|e| panic!("missing golden trace {name}.trace: {e}"));
+    let digests = std::fs::read_to_string(dir.join(format!("{name}.digests")))
+        .unwrap_or_else(|e| panic!("missing golden digests {name}.digests: {e}"));
+    (
+        Scenario::read_trace(name, &trace),
+        parse_digest_file(&digests),
+    )
+}
+
+#[test]
+fn golden_corpus_matches_engine_replay() {
+    for &(name, _, events, _) in CORPUS {
+        let (sc, recorded) = load(name);
+        assert_eq!(sc.events.len(), events, "{name}: trace truncated");
+        assert_eq!(recorded.len(), events, "{name}: digest file truncated");
+        let replayed = replay_digests(&sc, ReplayBackend::Engine)
+            .unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        if let Some((index, want, got)) = first_digest_drift(&recorded, &replayed) {
+            panic!(
+                "{name}: digest drift at event {index} (recorded {want:016x}, got {got:016x}) — \
+                 a per-event report changed; if intentional, regenerate via \
+                 `cargo test -p forgiving-graph --test golden_traces -- --ignored` \
+                 and review the diff"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_matches_distributed_replay_at_every_width() {
+    // The same digests through the protocol, sequential and sharded —
+    // the corpus also pins the cross-implementation, cross-thread
+    // convergence contract.
+    for &(name, _, _, _) in CORPUS {
+        let (sc, recorded) = load(name);
+        for threads in [1usize, 4] {
+            let replayed = replay_digests(&sc, ReplayBackend::Dist { threads })
+                .unwrap_or_else(|e| panic!("{name} @ {threads} threads: replay failed: {e}"));
+            assert_eq!(
+                first_digest_drift(&recorded, &replayed),
+                None,
+                "{name} @ {threads} threads drifted from the golden digests"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_files_carry_provenance_headers() {
+    for &(name, _, _, _) in CORPUS {
+        let text = std::fs::read_to_string(golden_dir().join(format!("{name}.digests")))
+            .expect("digest file");
+        assert!(
+            text.starts_with("# "),
+            "{name}.digests lost its provenance header"
+        );
+    }
+}
+
+/// Regenerates the whole corpus in place. Ignored by default — run
+/// explicitly (see module docs) after an intentional behaviour change,
+/// then commit the updated files.
+#[test]
+#[ignore = "regenerates tests/golden/ in place; run explicitly after intentional changes"]
+fn regenerate_golden_corpus() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("creating tests/golden");
+    for &(name, n, events, seed) in CORPUS {
+        let sc = scenario(name, n, events, seed);
+        let digests = replay_digests(&sc, ReplayBackend::Engine).expect("engine replay");
+        let header = format!(
+            "golden trace: workload {name}, n {n}, events {events}, seed {seed}\n\
+             regenerate: cargo test -p forgiving-graph --test golden_traces -- --ignored"
+        );
+        std::fs::write(dir.join(format!("{name}.trace")), sc.to_trace()).expect("write trace");
+        std::fs::write(
+            dir.join(format!("{name}.digests")),
+            format_digest_file(&header, &digests),
+        )
+        .expect("write digests");
+        eprintln!("regenerated {name}: {events} events");
+    }
+}

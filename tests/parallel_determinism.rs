@@ -1,0 +1,222 @@
+//! Cross-thread conformance suite: the work-sharded parallel round
+//! executor must be *unobservable*. Every adversarial trace of the
+//! differential corpus (144 traces: 12 seeds × 2 workloads × 3
+//! adversaries × 2 placement policies) is replayed through the
+//! distributed protocol at executor widths 1, 2, 4 and 8 — plus any
+//! widths named in `FG_DIST_THREADS` (comma-separated), which CI's
+//! thread-matrix job sets — and every typed outcome
+//! ([`RepairReport`]/`InsertReport` inside [`HealOutcome`]) is asserted
+//! equal to the sequential reference engine's **after every event**. At
+//! the end of each trace the aggregate [`BatchReport`], the healed
+//! image, the insert-only ghost and the flattened reconstruction forest
+//! must match too.
+//!
+//! This is the determinism contract of `fg_dist`'s executor (DESIGN.md
+//! §9): canonical `(priority, sender, seq)` delivery order within a
+//! round plus effect logs merged in canonical order at the barrier make
+//! the thread count a pure wall-clock knob.
+//!
+//! The sweep is split across four test functions (three seeds each) so
+//! the harness can run them concurrently.
+//!
+//! [`RepairReport`]: forgiving_graph::core::RepairReport
+
+use forgiving_graph::adversary::{
+    run_attack, Adversary, ChurnAdversary, MaxDegreeDeleter, RandomDeleter,
+};
+use forgiving_graph::core::{BatchReport, ForgivingGraph, PlacementPolicy, SelfHealer, Slot, VKey};
+use forgiving_graph::dist::DistHealer;
+use forgiving_graph::graph::{generators, Graph};
+
+type ForestRow = (
+    VKey,
+    Option<VKey>,
+    Option<VKey>,
+    Option<VKey>,
+    u32,
+    u32,
+    Slot,
+);
+
+fn engine_forest(fg: &ForgivingGraph) -> Vec<ForestRow> {
+    fg.forest()
+        .iter()
+        .map(|(k, n)| (k, n.parent, n.left, n.right, n.leaves, n.height, n.rep))
+        .collect()
+}
+
+/// The executor widths under test: the standard {1, 2, 4, 8} sweep plus
+/// any extra widths from `FG_DIST_THREADS` (how CI's matrix pins the
+/// width it benches with into the conformance run).
+fn thread_widths() -> Vec<usize> {
+    let mut widths = vec![1usize, 2, 4, 8];
+    if let Ok(extra) = std::env::var("FG_DIST_THREADS") {
+        for w in extra
+            .split(',')
+            .filter_map(|t| t.trim().parse::<usize>().ok())
+        {
+            if w >= 1 && !widths.contains(&w) {
+                widths.push(w);
+            }
+        }
+    }
+    widths
+}
+
+/// Records a trace against the reference engine, then replays it through
+/// a fresh distributed healer at every width, asserting typed-outcome
+/// equality per event and full state equality at the end. Returns the
+/// number of events checked (once per width).
+fn conformance_replay(
+    label: &str,
+    g: &Graph,
+    adversary: &mut dyn Adversary,
+    policy: PlacementPolicy,
+    widths: &[usize],
+) -> usize {
+    let mut engine = ForgivingGraph::from_graph_with_policy(g, policy).unwrap();
+    let log = run_attack(&mut engine, adversary, 400).unwrap();
+    let reference_forest = engine_forest(&engine);
+
+    let mut checked = 0usize;
+    for &threads in widths {
+        let mut dist = DistHealer::from_graph_threaded(g, policy, threads);
+        assert_eq!(dist.threads(), threads, "{label}: width not applied");
+        let mut batch = BatchReport::new();
+        for (step, event) in log.events.iter().enumerate() {
+            let outcome = {
+                let healer: &mut dyn SelfHealer = &mut dist;
+                healer.apply_event(event).unwrap_or_else(|e| {
+                    panic!("{label} @ {threads} threads: step {step} ({event}) failed: {e}")
+                })
+            };
+            assert_eq!(
+                outcome, log.report.outcomes[step],
+                "{label} @ {threads} threads: typed outcome diverged at step {step} ({event})"
+            );
+            batch.push(outcome);
+            checked += 1;
+        }
+        assert_eq!(
+            batch, log.report,
+            "{label} @ {threads} threads: batch reports diverged"
+        );
+        assert_eq!(
+            SelfHealer::image(&dist),
+            engine.image(),
+            "{label} @ {threads} threads: images diverged"
+        );
+        assert_eq!(
+            SelfHealer::ghost(&dist),
+            engine.ghost(),
+            "{label} @ {threads} threads: ghosts diverged"
+        );
+        assert_eq!(
+            dist.network().forest_snapshot(),
+            reference_forest,
+            "{label} @ {threads} threads: forests diverged"
+        );
+    }
+    checked
+}
+
+/// Replays the differential corpus slice for `seeds`, returning
+/// `(traces, events_checked)`.
+fn sweep_seeds(seeds: std::ops::Range<u64>) -> (usize, usize) {
+    let widths = thread_widths();
+    let mut traces = 0usize;
+    let mut events = 0usize;
+    for seed in seeds {
+        for policy in [PlacementPolicy::Adjacent, PlacementPolicy::PaperExact] {
+            let workloads = [
+                ("er", generators::connected_erdos_renyi(18, 0.14, seed)),
+                ("ba", generators::barabasi_albert(18, 2, seed)),
+            ];
+            for (wl, g) in workloads {
+                events += conformance_replay(
+                    &format!("{wl}/random/{seed}/{policy:?}"),
+                    &g,
+                    &mut RandomDeleter::new(seed, 5),
+                    policy,
+                    &widths,
+                );
+                events += conformance_replay(
+                    &format!("{wl}/hub/{seed}/{policy:?}"),
+                    &g,
+                    &mut MaxDegreeDeleter::new(5),
+                    policy,
+                    &widths,
+                );
+                events += conformance_replay(
+                    &format!("{wl}/churn/{seed}/{policy:?}"),
+                    &g,
+                    &mut ChurnAdversary::new(seed.wrapping_add(7), 0.6, 3, 4, 40),
+                    policy,
+                    &widths,
+                );
+                traces += 3;
+            }
+        }
+    }
+    (traces, events)
+}
+
+#[test]
+fn widths_cover_the_required_sweep() {
+    let widths = thread_widths();
+    for required in [1, 2, 4, 8] {
+        assert!(widths.contains(&required), "missing width {required}");
+    }
+}
+
+#[test]
+fn parallel_matches_engine_seeds_0_to_2() {
+    let (traces, events) = sweep_seeds(0..3);
+    assert_eq!(traces, 36, "each quarter covers 36 of the 144 traces");
+    assert!(events > 1000, "only {events} event checks ran");
+}
+
+#[test]
+fn parallel_matches_engine_seeds_3_to_5() {
+    let (traces, events) = sweep_seeds(3..6);
+    assert_eq!(traces, 36, "each quarter covers 36 of the 144 traces");
+    assert!(events > 1000, "only {events} event checks ran");
+}
+
+#[test]
+fn parallel_matches_engine_seeds_6_to_8() {
+    let (traces, events) = sweep_seeds(6..9);
+    assert_eq!(traces, 36, "each quarter covers 36 of the 144 traces");
+    assert!(events > 1000, "only {events} event checks ran");
+}
+
+#[test]
+fn parallel_matches_engine_seeds_9_to_11() {
+    let (traces, events) = sweep_seeds(9..12);
+    assert_eq!(traces, 36, "each quarter covers 36 of the 144 traces");
+    assert!(events > 1000, "only {events} event checks ran");
+}
+
+#[test]
+fn resharding_mid_trace_is_unobservable() {
+    // Beyond fixed widths: flip the executor width *between events* and
+    // the replay still matches the engine — the pool holds no
+    // round-spanning state a reshard could lose.
+    let g = generators::connected_erdos_renyi(20, 0.14, 5);
+    let mut engine = ForgivingGraph::from_graph(&g).unwrap();
+    let log = run_attack(&mut engine, &mut ChurnAdversary::new(3, 0.6, 3, 4, 60), 120).unwrap();
+    let mut dist = DistHealer::from_graph(&g, PlacementPolicy::Adjacent);
+    for (step, event) in log.events.iter().enumerate() {
+        dist.set_threads([1, 3, 2, 8][step % 4]);
+        let outcome = {
+            let healer: &mut dyn SelfHealer = &mut dist;
+            healer.apply_event(event).unwrap()
+        };
+        assert_eq!(
+            outcome, log.report.outcomes[step],
+            "diverged at step {step}"
+        );
+    }
+    assert_eq!(SelfHealer::image(&dist), engine.image());
+    assert_eq!(dist.network().forest_snapshot(), engine_forest(&engine));
+}
