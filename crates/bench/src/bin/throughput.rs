@@ -1,32 +1,72 @@
 //! Throughput — end-to-end event-ingestion benchmark over the
-//! ScenarioRunner workload registry.
+//! ScenarioRunner workload registry, optionally serving a mixed
+//! read/write query workload.
 //!
 //! Replays named adversarial workloads (default: the 50k-event `churn`
 //! trace the perf trajectory tracks) through the sequential engine and
 //! optionally the distributed protocol, in timed batches, and writes the
 //! machine-readable report consumed by CI (`BENCH_throughput.json`).
 //!
+//! With `--queries N` the run becomes a mixed read/write workload: `N`
+//! reads are interleaved across the write batches (e.g. `--events 50000
+//! --queries 200000` is an 80/20 read/write mix) and answered through
+//! three read paths — the landmark `QueryCache`, the uncached `QueryOps`
+//! API (bidirectional BFS), and the naive per-query-BFS baseline
+//! (sampled; one fresh full BFS per query) — so the JSON records
+//! `queries_per_sec` for each, both speedups, and the (hard-gated) zero
+//! answer-mismatch count.
+//!
 //! Flags (all optional): `--workloads a,b,c`, `--n <initial size>`,
 //! `--events <count>`, `--batch <size>`, `--backend engine|dist|both`,
 //! `--threads <w>` (executor width for the dist backend),
 //! `--threads-sweep w1,w2,...` (replay the dist backend once per width
 //! and emit a `threads_sweep` comparison section),
+//! `--queries <count>` / `--query-mix dist:80,path:10,stretch:10` /
+//! `--query-seed <u64>` / `--query-hot <k>` / `--query-cache <cap>` /
+//! `--query-naive-every <k>` (the mixed read workload),
 //! `--trace-out <path>` (dump the trace for cross-ref replays), plus the
 //! shared `--seed` / `--scale` / `--json <path>`.
 
 use fg_bench::json::Json;
-use fg_bench::{scenario, BenchArgs, RunResult, Scenario, ScenarioRunner};
-use fg_core::{ForgivingGraph, PlacementPolicy};
+use fg_bench::{
+    scenario, BenchArgs, QueryStats, QueryWorkload, RunResult, Scenario, ScenarioRunner,
+};
+use fg_core::{ForgivingGraph, PlacementPolicy, SelfHealer};
 use fg_dist::DistHealer;
 use fg_metrics::{f2, Table};
 
-fn run_dist(sc: &Scenario, batch: usize, threads: usize) -> RunResult {
+/// One backend replay: the write-side result plus, in mixed runs, the
+/// read-side stats.
+fn run_backend(
+    runner: &ScenarioRunner,
+    sc: &Scenario,
+    healer: &mut dyn SelfHealer,
+    wl: Option<&QueryWorkload>,
+) -> (RunResult, Option<QueryStats>) {
+    match wl {
+        Some(wl) => {
+            let mixed = runner
+                .run_mixed(sc, healer, wl)
+                .expect("scenario traces are legal");
+            (mixed.run, Some(mixed.queries))
+        }
+        None => (
+            runner.run(sc, healer).expect("scenario traces are legal"),
+            None,
+        ),
+    }
+}
+
+fn run_dist(
+    sc: &Scenario,
+    batch: usize,
+    threads: usize,
+    wl: Option<&QueryWorkload>,
+) -> (RunResult, Option<QueryStats>) {
     let mut healer =
         DistHealer::from_graph_threaded(&sc.initial, PlacementPolicy::Adjacent, threads);
-    ScenarioRunner::new(batch)
-        .with_threads(threads)
-        .run(sc, &mut healer)
-        .expect("scenario traces are legal")
+    let runner = ScenarioRunner::new(batch).with_threads(threads);
+    run_backend(&runner, sc, &mut healer, wl)
 }
 
 fn main() {
@@ -40,6 +80,7 @@ fn main() {
     let names = args.get("workloads", "churn".to_string());
     let json_path = args.json_path().unwrap_or("BENCH_throughput.json");
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let workload = args.query_workload(seed.wrapping_add(0x9e37));
 
     let runner = ScenarioRunner::new(batch);
     let mut table = Table::new(
@@ -57,7 +98,24 @@ fn main() {
             "final nodes",
         ],
     );
-    let mut results = Vec::new();
+    let mut query_table = Table::new(
+        "Mixed read/write — landmark cache vs uncached API vs naive per-query BFS",
+        [
+            "workload",
+            "backend",
+            "queries",
+            "mix",
+            "cached q/s",
+            "api q/s",
+            "naive q/s",
+            "vs naive",
+            "vs api",
+            "hits",
+            "misses",
+            "mismatches",
+        ],
+    );
+    let mut results: Vec<(RunResult, Option<QueryStats>)> = Vec::new();
     let mut sweeps = Vec::new();
     for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         let sc = scenario(name, n, events, seed);
@@ -76,15 +134,15 @@ fn main() {
             }
             None
         };
-        let mut runs: Vec<RunResult> = Vec::new();
+        let mut runs: Vec<(RunResult, Option<QueryStats>)> = Vec::new();
         if backend == "engine" || backend == "both" {
             let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
-            runs.push(runner.run(&sc, &mut fg).expect("scenario traces are legal"));
+            runs.push(run_backend(&runner, &sc, &mut fg, workload.as_ref()));
         }
         // With a sweep, the sweep's widths *are* the dist runs — a
         // standalone run at `--threads` would just duplicate one of them.
         if dist_backend && sweep.is_none() {
-            runs.push(run_dist(&sc, batch, threads));
+            runs.push(run_dist(&sc, batch, threads, workload.as_ref()));
         }
         assert!(
             !runs.is_empty() || sweep.is_some(),
@@ -98,7 +156,7 @@ fn main() {
             let mut entries = Vec::new();
             let mut base_wall = None;
             for w in widths.split(',').filter_map(|t| t.trim().parse().ok()) {
-                let result = run_dist(&sc, batch, w);
+                let (result, queries) = run_dist(&sc, batch, w, workload.as_ref());
                 let base = *base_wall.get_or_insert(result.wall_seconds);
                 entries.push(
                     Json::obj()
@@ -110,7 +168,7 @@ fn main() {
                             Json::Float(base / result.wall_seconds.max(1e-12)),
                         ),
                 );
-                runs.push(result);
+                runs.push((result, queries));
             }
             sweeps.push(
                 Json::obj()
@@ -121,7 +179,7 @@ fn main() {
             );
         }
 
-        for result in runs {
+        for (result, queries) in runs {
             table.push_row([
                 result.scenario.clone(),
                 result.backend.clone(),
@@ -134,27 +192,67 @@ fn main() {
                 f2(result.max_batch_ms),
                 result.final_nodes.to_string(),
             ]);
-            results.push(result);
+            if let Some(q) = &queries {
+                assert_eq!(
+                    q.mismatches, 0,
+                    "{name}/{}: cached answers diverged from naive BFS",
+                    result.backend
+                );
+                query_table.push_row([
+                    result.scenario.clone(),
+                    result.backend.clone(),
+                    q.queries.to_string(),
+                    q.mix.clone(),
+                    format!("{:.0}", q.cached_qps),
+                    format!("{:.0}", q.api_qps),
+                    format!("{:.0}", q.naive_qps),
+                    f2(q.speedup),
+                    f2(q.speedup_vs_api),
+                    q.cache.hits.to_string(),
+                    q.cache.misses.to_string(),
+                    q.mismatches.to_string(),
+                ]);
+            }
+            results.push((result, queries));
         }
     }
     println!("{}", table.to_markdown());
+    if workload.is_some() {
+        println!("{}", query_table.to_markdown());
+    }
 
-    let mut report = Json::obj().field("bench", Json::str("throughput")).field(
-        "config",
-        Json::obj()
-            .field("n", Json::Int(n as i64))
-            .field("events", Json::Int(events as i64))
-            .field("batch", Json::Int(batch as i64))
-            .field("seed", Json::Int(seed as i64))
-            .field("threads", Json::Int(threads as i64))
-            .field("host_cpus", Json::Int(host_cpus as i64)),
-    );
+    let mut config = Json::obj()
+        .field("n", Json::Int(n as i64))
+        .field("events", Json::Int(events as i64))
+        .field("batch", Json::Int(batch as i64))
+        .field("seed", Json::Int(seed as i64))
+        .field("threads", Json::Int(threads as i64))
+        .field("host_cpus", Json::Int(host_cpus as i64));
+    if let Some(wl) = &workload {
+        config = config
+            .field("queries", Json::Int(wl.queries as i64))
+            .field("query_mix", Json::str(wl.mix.spec()))
+            .field("query_seed", Json::Int(wl.seed as i64))
+            .field("query_hot", Json::Int(wl.hot as i64))
+            .field("query_cache", Json::Int(wl.cache_capacity as i64));
+    }
+    let mut report = Json::obj()
+        .field("bench", Json::str("throughput"))
+        .field("config", config);
     if !sweeps.is_empty() {
         report = report.field("threads_sweep", Json::Arr(sweeps));
     }
     let report = report.field(
         "results",
-        Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        Json::Arr(
+            results
+                .iter()
+                .map(|(r, q)| match q {
+                    Some(q) => r.to_json().field("queries", q.to_json()),
+                    None => r.to_json(),
+                })
+                .collect(),
+        ),
     );
     std::fs::write(json_path, report.pretty()).expect("writing benchmark JSON");
     eprintln!("wrote {json_path}");

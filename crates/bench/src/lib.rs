@@ -12,13 +12,18 @@
 //! (`--seed` / `--scale` / `--json`). The [`scenario`](mod@scenario) module is the
 //! throughput side of the harness: named end-to-end workloads replayed
 //! through any healer with batched ingestion, reported as
-//! machine-readable `BENCH_*.json` via [`json`].
+//! machine-readable `BENCH_*.json` via [`json`]. The [`queries`] module
+//! adds the read side: mixed read/write workloads
+//! ([`ScenarioRunner::run_mixed`]) serving configurable query streams
+//! through the landmark cache, the uncached query API, and the naive
+//! per-query-BFS baseline in one differential, separately-timed run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod json;
+pub mod queries;
 pub mod replay;
 pub mod scenario;
 
@@ -26,7 +31,8 @@ use fg_core::{ForgivingGraph, PlacementPolicy};
 use fg_graph::Graph;
 
 pub use args::BenchArgs;
-pub use scenario::{scenario, RunResult, Scenario, ScenarioRunner, WORKLOADS};
+pub use queries::{QueryKind, QueryMix, QueryStats, QueryWorkload, QUERY_KINDS};
+pub use scenario::{scenario, MixedRunResult, RunResult, Scenario, ScenarioRunner, WORKLOADS};
 
 /// The standard workload families the sweeps use.
 pub fn workload(name: &str, n: usize, seed: u64) -> Graph {

@@ -1,6 +1,6 @@
-//! Lockstep trace replay, outcome digests, and digest-file parsing —
-//! shared by the `replay_trace` binary and the golden-trace regression
-//! suite (`tests/golden_traces.rs`).
+//! Lockstep trace replay, outcome digests, query digests, and
+//! digest-file parsing — shared by the `replay_trace` binary and the
+//! golden-trace regression suite (`tests/golden_traces.rs`).
 //!
 //! A *digest stream* is one stable 64-bit digest per event (see
 //! [`fg_core::ReportDigest`]): the digest of the typed outcome the healer
@@ -8,11 +8,23 @@
 //! stream iff their per-event reports are bit-identical — which is the
 //! protocol/engine convergence contract, so digest files double as a
 //! compact regression corpus.
+//!
+//! *Query digests* ([`query_digest`] / [`replay_query_digests`]) extend
+//! the same idea to the read side: after every event, a seeded probe set
+//! of `(u, v)` pairs is answered through the healer's view
+//! (`distance` / `path` / `stretch` / `same_component` / `degree`) and
+//! folded into one digest — pinning the query API's answers along the
+//! golden traces next to the existing outcome digests.
 
 use crate::scenario::Scenario;
-use fg_core::ForgivingGraph;
-use fg_core::{EngineError, HealOutcome, NetworkEvent, PlacementPolicy, SelfHealer};
+use fg_core::{
+    EngineError, ForgivingGraph, GraphView, HealOutcome, NetworkEvent, PlacementPolicy, QueryOps,
+    ReportDigest, SelfHealer,
+};
 use fg_dist::DistHealer;
+use fg_graph::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Which implementation replays the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +66,66 @@ pub fn replay_digests(sc: &Scenario, backend: ReplayBackend) -> Result<Vec<u64>,
     sc.events
         .iter()
         .map(|event| healer.apply_event(event).map(|o| o.digest()))
+        .collect()
+}
+
+/// One stable digest of the query API's answers on `view`, for a probe
+/// set derived deterministically from `seed`, the view's epoch, and the
+/// node universe. Probes cover live *and* dead ids (dead endpoints must
+/// answer `None`); per pair the fold covers `distance`, `path` length
+/// and validity, `stretch` bits, `same_component`, and `degree`.
+pub fn query_digest(view: &impl GraphView, seed: u64, probes: usize) -> u64 {
+    let n = view.ghost().nodes_ever().max(1) as u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ view.epoch().wrapping_mul(0x9e37_79b9));
+    let mut digest = ReportDigest::new().word(view.epoch()).word(u64::from(n));
+    for _ in 0..probes {
+        let u = NodeId::new(rng.gen_range(0..n));
+        let v = NodeId::new(rng.gen_range(0..n));
+        let dist = view.distance(u, v);
+        let path = view.path(u, v);
+        let path_ok = match (&path, dist) {
+            (None, None) => true,
+            (Some(p), Some(d)) => {
+                p.len() as u32 == d + 1
+                    && p.first() == Some(&u)
+                    && p.last() == Some(&v)
+                    && (p.len() == 1 || p.windows(2).all(|e| view.image().has_edge(e[0], e[1])))
+            }
+            _ => false,
+        };
+        digest = digest
+            .word(u64::from(u.raw()))
+            .word(u64::from(v.raw()))
+            .word(dist.map_or(0, |d| u64::from(d) + 1))
+            .word(path.map_or(0, |p| p.len() as u64))
+            .word(u64::from(path_ok))
+            .word(view.stretch(u, v).map_or(0, f64::to_bits))
+            .word(u64::from(view.same_component(u, v)))
+            .word(view.degree(u).map_or(0, |d| d as u64 + 1));
+    }
+    digest.value()
+}
+
+/// Replays `sc` through `backend` and returns one [`query_digest`] per
+/// event, taken on the healer's view right after the event applied.
+///
+/// # Errors
+///
+/// Propagates the first [`EngineError`] — scenario traces are legal by
+/// construction, so an error indicates a healer bug.
+pub fn replay_query_digests(
+    sc: &Scenario,
+    backend: ReplayBackend,
+    seed: u64,
+    probes: usize,
+) -> Result<Vec<u64>, EngineError> {
+    let mut healer = backend.build(sc);
+    sc.events
+        .iter()
+        .map(|event| {
+            let _ = healer.apply_event(event)?;
+            Ok(query_digest(&healer.view(), seed, probes))
+        })
         .collect()
 }
 
@@ -207,5 +279,18 @@ mod tests {
     fn verify_passes_on_legal_traces() {
         let sc = scenario("churn", 16, 40, 3);
         assert_eq!(verify_engine_vs_dist(&sc, 2).expect("lockstep"), 40);
+    }
+
+    #[test]
+    fn query_digest_streams_agree_across_backends() {
+        let sc = scenario("churn", 20, 50, 9);
+        let engine = replay_query_digests(&sc, ReplayBackend::Engine, 0xfade, 4).expect("engine");
+        assert_eq!(engine.len(), 50);
+        let dist =
+            replay_query_digests(&sc, ReplayBackend::Dist { threads: 2 }, 0xfade, 4).expect("dist");
+        assert_eq!(first_digest_drift(&engine, &dist), None);
+        // Different probe seeds genuinely probe different pairs.
+        let other = replay_query_digests(&sc, ReplayBackend::Engine, 0xbeef, 4).expect("engine");
+        assert_ne!(engine, other);
     }
 }

@@ -21,7 +21,10 @@
 //! | `partition-then-heal`| two clusters, bridge nodes killed first, then churn |
 
 use crate::json::Json;
-use fg_core::{EngineError, HealerObserver, NetworkEvent, SelfHealer};
+use crate::queries::{
+    answer_api, answer_cached, answer_naive, answers_agree, QueryStats, QueryStream, QueryWorkload,
+};
+use fg_core::{EngineError, GraphView, HealerObserver, NetworkEvent, QueryCache, SelfHealer};
 use fg_graph::{Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -477,6 +480,25 @@ impl RunResult {
     }
 }
 
+/// A [`RunResult`] plus the read-side measurements of the interleaved
+/// query workload — what [`ScenarioRunner::run_mixed`] returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedRunResult {
+    /// Write-side throughput, identical in shape to a plain run.
+    pub run: RunResult,
+    /// Read-side throughput, cache behaviour, and the differential
+    /// verdict.
+    pub queries: QueryStats,
+}
+
+impl MixedRunResult {
+    /// The combined JSON object: the run's fields plus a `queries`
+    /// sub-object.
+    pub fn to_json(&self) -> Json {
+        self.run.to_json().field("queries", self.queries.to_json())
+    }
+}
+
 /// Drives scenarios through healers in timed batches.
 #[derive(Debug, Clone, Copy)]
 pub struct ScenarioRunner {
@@ -544,6 +566,109 @@ impl ScenarioRunner {
         })
     }
 
+    /// Replays `scenario` while serving an interleaved read workload:
+    /// after every timed write batch, the proportional share of `wl`'s
+    /// queries runs against the healer's [`view`](SelfHealer::view)
+    /// through **three** read paths — the landmark [`QueryCache`]
+    /// (invalidated/repaired incrementally from the batch's typed
+    /// outcomes), the uncached `QueryOps` API (per-query bidirectional
+    /// BFS), and the naive baseline (one fresh full single-source BFS
+    /// per query, what reads cost before the query API existed). Each
+    /// pass is timed separately and every answer triple is compared, so
+    /// the returned [`QueryStats`] carry both speedups *and* a
+    /// differential verdict (`mismatches`, always 0).
+    ///
+    /// Write batches are timed exactly as in [`ScenarioRunner::run`]
+    /// (query work happens strictly between batches), so the write-side
+    /// `events_per_sec` stays comparable across plain and mixed runs.
+    /// Cache maintenance (`note_batch`) is timed into its own bucket
+    /// ([`QueryStats::maintain_seconds`]) and charged to the cached
+    /// path's `queries_per_sec`, so the reported speedups include the
+    /// full price of serving cached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioRunner::run`].
+    pub fn run_mixed(
+        &self,
+        scenario: &Scenario,
+        healer: &mut dyn SelfHealer,
+        wl: &QueryWorkload,
+    ) -> Result<MixedRunResult, EngineError> {
+        let mut tallies = Tallies::default();
+        let mut cache = QueryCache::new(wl.cache_capacity);
+        let mut stream = QueryStream::new(wl);
+        let mut stats = QueryStats::empty(wl);
+        let total_events = scenario.events.len().max(1);
+        let mut applied = 0usize;
+        let mut issued = 0usize;
+        let mut blocks = 0usize;
+
+        for batch in scenario.events.chunks(self.batch_size) {
+            let start = Instant::now();
+            let report = healer.apply_batch(batch)?;
+            tallies.fold(start.elapsed().as_secs_f64(), &report);
+
+            // Reads ride between write batches: invalidate/repair from
+            // the batch's typed outcomes, then serve this batch's share
+            // of the query budget against the post-barrier view. The
+            // maintenance is timed into its own bucket and charged to
+            // the cached path's throughput.
+            let view = healer.view();
+            let start = Instant::now();
+            cache.note_batch(&view, batch, &report);
+            stats.maintain_seconds += start.elapsed().as_secs_f64();
+            applied += batch.len();
+            let due = wl.queries * applied / total_events;
+            let count = due.saturating_sub(issued);
+            issued = due;
+            if count == 0 {
+                continue;
+            }
+            let block = stream.block(view.image(), count);
+
+            let start = Instant::now();
+            let cached: Vec<_> = block
+                .iter()
+                .map(|q| answer_cached(&mut cache, &view, q))
+                .collect();
+            stats.cached_seconds += start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let api: Vec<_> = block.iter().map(|q| answer_api(&view, q)).collect();
+            stats.api_seconds += start.elapsed().as_secs_f64();
+
+            // The naive baseline is sampled (`naive_every`) — full
+            // per-query BFS on every block would distort the write-side
+            // timings through sheer cache churn.
+            let naive = if blocks.is_multiple_of(wl.naive_every.max(1)) {
+                let start = Instant::now();
+                let answers: Vec<_> = block.iter().map(|q| answer_naive(&view, q)).collect();
+                stats.naive_seconds += start.elapsed().as_secs_f64();
+                stats.naive_queries += answers.len();
+                Some(answers)
+            } else {
+                None
+            };
+            blocks += 1;
+
+            // All read paths must agree exactly (compared outside the
+            // timed regions).
+            for (i, q) in block.iter().enumerate() {
+                let mut ok = answers_agree(q, &cached[i], &api[i], view.image());
+                if let Some(naive) = &naive {
+                    ok &= answers_agree(q, &naive[i], &api[i], view.image());
+                }
+                stats.record(q, api[i].answered(), ok);
+            }
+        }
+        stats.finish(&cache);
+        Ok(MixedRunResult {
+            run: tallies.into_result(self, scenario, healer),
+            queries: stats,
+        })
+    }
+
     fn run_inner(
         &self,
         scenario: &Scenario,
@@ -553,34 +678,56 @@ impl ScenarioRunner {
             &[NetworkEvent],
         ) -> Result<fg_core::BatchReport, EngineError>,
     ) -> Result<RunResult, EngineError> {
-        let mut wall = 0.0f64;
-        let mut max_batch_ms = 0.0f64;
-        let mut batches = 0usize;
-        let mut edges_added = 0u64;
-        let mut edges_dropped = 0u64;
-        let mut helpers_created = 0u64;
-        let mut max_churn = 0u64;
-        let mut max_normalized_churn = 0.0f64;
+        let mut tallies = Tallies::default();
         for batch in scenario.events.chunks(self.batch_size) {
             let start = Instant::now();
             let report = ingest(healer, batch)?;
-            let secs = start.elapsed().as_secs_f64();
-            wall += secs;
-            max_batch_ms = max_batch_ms.max(secs * 1e3);
-            batches += 1;
-            edges_added += report.edges_added;
-            edges_dropped += report.edges_dropped;
-            helpers_created += report.helpers_created;
-            max_churn = max_churn.max(report.max_churn);
-            max_normalized_churn = max_normalized_churn.max(report.max_normalized_churn());
+            tallies.fold(start.elapsed().as_secs_f64(), &report);
         }
+        Ok(tallies.into_result(self, scenario, healer))
+    }
+}
+
+/// Per-batch accounting shared by every runner entry point.
+#[derive(Debug, Default)]
+struct Tallies {
+    wall: f64,
+    max_batch_ms: f64,
+    batches: usize,
+    edges_added: u64,
+    edges_dropped: u64,
+    helpers_created: u64,
+    max_churn: u64,
+    max_normalized_churn: f64,
+}
+
+impl Tallies {
+    fn fold(&mut self, secs: f64, report: &fg_core::BatchReport) {
+        self.wall += secs;
+        self.max_batch_ms = self.max_batch_ms.max(secs * 1e3);
+        self.batches += 1;
+        self.edges_added += report.edges_added;
+        self.edges_dropped += report.edges_dropped;
+        self.helpers_created += report.helpers_created;
+        self.max_churn = self.max_churn.max(report.max_churn);
+        self.max_normalized_churn = self.max_normalized_churn.max(report.max_normalized_churn());
+    }
+
+    fn into_result(
+        self,
+        runner: &ScenarioRunner,
+        scenario: &Scenario,
+        healer: &dyn SelfHealer,
+    ) -> RunResult {
         let events = scenario.events.len();
-        Ok(RunResult {
+        let wall = self.wall;
+        let batches = self.batches;
+        RunResult {
             scenario: scenario.name.clone(),
             backend: healer.name().to_string(),
             events,
             deletes: scenario.deletions(),
-            batch_size: self.batch_size,
+            batch_size: runner.batch_size,
             wall_seconds: wall,
             events_per_sec: if wall > 0.0 {
                 events as f64 / wall
@@ -592,17 +739,17 @@ impl ScenarioRunner {
             } else {
                 0.0
             },
-            max_batch_ms,
+            max_batch_ms: self.max_batch_ms,
             final_nodes: healer.image().node_count(),
             final_edges: healer.image().edge_count(),
             nodes_ever: healer.ghost().nodes_ever(),
-            threads: self.threads,
-            edges_added,
-            edges_dropped,
-            helpers_created,
-            max_churn,
-            max_normalized_churn,
-        })
+            threads: runner.threads,
+            edges_added: self.edges_added,
+            edges_dropped: self.edges_dropped,
+            helpers_created: self.helpers_created,
+            max_churn: self.max_churn,
+            max_normalized_churn: self.max_normalized_churn,
+        }
     }
 }
 
@@ -690,6 +837,42 @@ mod tests {
                 (reference.2, reference.3, reference.4, reference.5)
             );
         }
+    }
+
+    #[test]
+    fn mixed_runs_serve_exact_answers_on_both_backends() {
+        let sc = scenario("churn", 32, 200, 13);
+        let mut wl = QueryWorkload::new(400);
+        wl.mix = crate::QueryMix::parse("dist:60,path:15,stretch:15,deg:5,comp:5").unwrap();
+        wl.hot = 8;
+        let runner = ScenarioRunner::new(25);
+
+        let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+        let engine = runner.run_mixed(&sc, &mut fg, &wl).expect("engine run");
+        let mut net = DistHealer::from_graph(&sc.initial, PlacementPolicy::Adjacent);
+        let dist = runner.run_mixed(&sc, &mut net, &wl).expect("dist run");
+
+        for result in [&engine, &dist] {
+            let q = &result.queries;
+            assert_eq!(q.queries, 400, "{}", result.run.backend);
+            assert_eq!(q.mismatches, 0, "{}: cached != naive", result.run.backend);
+            assert_eq!(q.by_kind.iter().map(|(_, c)| c).sum::<usize>(), q.queries);
+            assert!(q.cache.hits > 0, "{}: no cache hits", result.run.backend);
+        }
+        // The query stream is deterministic and both backends hold
+        // identical state, so the read side must agree exactly.
+        assert_eq!(engine.queries.by_kind, dist.queries.by_kind);
+        assert_eq!(engine.queries.unanswered, dist.queries.unanswered);
+        assert_eq!(engine.queries.cache, dist.queries.cache);
+        // And the write side still folds the same aggregates as a plain
+        // run of the same trace.
+        let mut plain = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+        let reference = runner.run(&sc, &mut plain).expect("plain run");
+        assert_eq!(engine.run.edges_added, reference.edges_added);
+        assert_eq!(engine.run.max_churn, reference.max_churn);
+        let text = engine.to_json().pretty();
+        assert!(text.contains("\"queries_per_sec_cached\""));
+        assert!(text.contains("\"mismatches\": 0"));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::api::{BatchReport, HealOutcome, HealerObserver, InsertReport, RepairReport};
 use crate::error::EngineError;
 use crate::event::NetworkEvent;
+use crate::view::View;
 use fg_graph::{Graph, NodeId};
 
 /// A self-healing network under the paper's insert/delete attack model
@@ -56,6 +57,31 @@ pub trait SelfHealer {
     /// Whether `v` is currently alive.
     fn is_alive(&self, v: NodeId) -> bool {
         self.image().contains(v)
+    }
+
+    /// This healer's structural epoch: `nodes_ever + deletions_ever`,
+    /// advancing by exactly one per applied event (see
+    /// [`crate::view::epoch_of`]).
+    fn epoch(&self) -> u64 {
+        crate::view::epoch_of(self.image(), self.ghost())
+    }
+
+    /// An epoch-stamped read-only snapshot of this healer's state — the
+    /// entry point of the query API. All reads
+    /// ([`distance`](crate::QueryOps::distance),
+    /// [`path`](crate::QueryOps::path),
+    /// [`stretch`](crate::QueryOps::stretch), …) hang off the returned
+    /// view through the [`crate::QueryOps`] extension trait; see
+    /// [`crate::view`] for the snapshot semantics.
+    ///
+    /// The borrow makes the snapshot stable for free: no write can run
+    /// while a view is alive. Healers whose reads must be globally
+    /// consistent with an internal execution engine (the distributed
+    /// protocol's round executor) hand out views only at consistent
+    /// points — `fg_dist` materializes protocol state at round barriers,
+    /// so its views are always quiescent snapshots.
+    fn view(&self) -> View<'_> {
+        View::over(self.image(), self.ghost())
     }
 
     /// [`SelfHealer::insert`] with streaming instrumentation.

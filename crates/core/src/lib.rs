@@ -47,8 +47,10 @@ mod healer;
 mod image;
 mod merge;
 pub mod plan;
+pub mod query;
 mod slot;
 mod stats;
+pub mod view;
 
 pub use api::{
     BatchReport, HealOutcome, HealerObserver, InsertReport, NoopObserver, RepairReport,
@@ -60,5 +62,7 @@ pub use event::NetworkEvent;
 pub use forest::{Forest, VNode};
 pub use healer::SelfHealer;
 pub use image::ImageGraph;
+pub use query::{stretch_ratio, CacheStats, QueryCache, QueryOps};
 pub use slot::{Slot, VKey, VKind};
 pub use stats::EngineStats;
+pub use view::{epoch_of, GraphView, View};

@@ -1,0 +1,778 @@
+//! The read-side query API: [`QueryOps`] over any [`GraphView`], and the
+//! incrementally invalidated [`QueryCache`] for mixed read/write
+//! workloads.
+//!
+//! The paper frames the Forgiving Graph as a *data structure answering
+//! distance queries between repairs* — this module is that API surface.
+//! [`QueryOps`] is blanket-implemented for every [`GraphView`], so any
+//! view obtained from a [`SelfHealer`](crate::SelfHealer) (engine,
+//! distributed protocol, baselines) answers:
+//!
+//! * [`distance`](QueryOps::distance) / [`path`](QueryOps::path) — exact
+//!   shortest hops on the healed image, by the bidirectional BFS kernel
+//!   in [`fg_graph::traversal`];
+//! * [`neighbors`](QueryOps::neighbors) / [`degree`](QueryOps::degree) /
+//!   [`same_component`](QueryOps::same_component) — local and
+//!   connectivity reads;
+//! * [`stretch`](QueryOps::stretch) — the paper's success metric for one
+//!   pair: image distance over distance in the remembered ideal graph
+//!   `G'`, via the single shared ratio convention [`stretch_ratio`]
+//!   (the same definition `fg_metrics`' aggregate measurements consume).
+//!
+//! [`QueryCache`] is the serving layer for read-heavy workloads: it
+//! memoizes full single-source distance vectors ("landmarks") over both
+//! graphs and answers repeated queries in O(1)/O(path) instead of one
+//! BFS per query. Crucially it is **incrementally invalidated by the
+//! typed reports of the write path** ([`NetworkEvent`] +
+//! [`HealOutcome`]) rather than rebuilt per query — see
+//! [`QueryCache::note_event`] for the exact soundness rules, and
+//! DESIGN.md §10 for the proofs.
+
+use crate::api::{BatchReport, HealOutcome};
+use crate::event::NetworkEvent;
+use crate::view::GraphView;
+use fg_graph::traversal::{self, DistanceVec};
+use fg_graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// The single stretch-ratio convention, shared by [`QueryOps::stretch`]
+/// and `fg_metrics`' aggregate stretch measurements:
+///
+/// * both distances known → `image / max(1, ghost)`;
+/// * connected in `G'` but not in the image → `∞` (a healing failure);
+/// * disconnected in `G'` → `None` (legitimately disconnected; the pair
+///   is not measured).
+pub fn stretch_ratio(ghost: Option<u32>, image: Option<u32>) -> Option<f64> {
+    match (ghost, image) {
+        (Some(g), Some(i)) => Some(f64::from(i) / f64::from(g.max(1))),
+        (Some(_), None) => Some(f64::INFINITY),
+        (None, _) => None,
+    }
+}
+
+/// Read operations over a snapshot view, blanket-implemented for every
+/// [`GraphView`].
+///
+/// All answers are **exact** (never approximations) and refer to the
+/// view's epoch. Pairwise operations return `None` when an endpoint is
+/// not live in the image.
+///
+/// # Examples
+///
+/// ```
+/// use fg_core::query::QueryOps;
+/// use fg_core::{ForgivingGraph, SelfHealer};
+/// use fg_graph::{generators, NodeId};
+///
+/// let mut fg = ForgivingGraph::from_graph(&generators::cycle(8))?;
+/// fg.delete(NodeId::new(3))?;
+/// let view = fg.view();
+/// let (u, v) = (NodeId::new(2), NodeId::new(4));
+/// let d = view.distance(u, v).unwrap();
+/// let path = view.path(u, v).unwrap();
+/// assert_eq!(path.len() as u32, d + 1);
+/// assert!(view.same_component(u, v));
+/// // Stretch compares the healed route against ghost distance 2
+/// // (through the deleted node) — the repair may even shortcut it.
+/// assert_eq!(view.stretch(u, v), Some(f64::from(d) / 2.0));
+/// assert_eq!(view.degree(NodeId::new(3)), None); // dead nodes answer None
+/// # Ok::<(), fg_core::EngineError>(())
+/// ```
+pub trait QueryOps: GraphView {
+    /// Whether `u` is live in the image at this view's epoch.
+    fn alive(&self, u: NodeId) -> bool {
+        self.image().contains(u)
+    }
+
+    /// `u`'s degree in the healed image; `None` when `u` is not live.
+    fn degree(&self, u: NodeId) -> Option<usize> {
+        self.alive(u).then(|| self.image().degree(u))
+    }
+
+    /// `u`'s image neighbours in increasing id order (empty when dead).
+    fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        self.image().neighbor_vec(u)
+    }
+
+    /// Exact shortest-path hops between `u` and `v` in the healed image
+    /// (bidirectional BFS); `None` when either is dead or the pair is
+    /// disconnected.
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        traversal::bidirectional_distance(self.image(), u, v)
+    }
+
+    /// A shortest image path from `u` to `v` inclusive of both
+    /// endpoints: exactly `distance(u, v) + 1` nodes, consecutive nodes
+    /// adjacent.
+    fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        traversal::shortest_path(self.image(), u, v)
+    }
+
+    /// Whether `u` and `v` are live and mutually reachable in the image.
+    fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.distance(u, v).is_some()
+    }
+
+    /// The pair's network stretch: image distance over distance in the
+    /// remembered ideal graph `G'` (whose paths may pass through deleted
+    /// nodes), per [`stretch_ratio`]. `None` when an endpoint is dead or
+    /// the pair is disconnected even in `G'`.
+    fn stretch(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if !self.alive(u) || !self.alive(v) {
+            return None;
+        }
+        let ghost = traversal::bidirectional_distance(self.ghost(), u, v);
+        let image = traversal::bidirectional_distance(self.image(), u, v);
+        stretch_ratio(ghost, image)
+    }
+}
+
+impl<T: GraphView + ?Sized> QueryOps for T {}
+
+/// Counters describing what a [`QueryCache`] did — exposed for bench
+/// reports and the differential suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a cached distance vector.
+    pub hits: u64,
+    /// Queries that had to run a fresh BFS (which then populated the
+    /// cache).
+    pub misses: u64,
+    /// Vectors kept current *in place* across a write batch by the
+    /// seeded relaxation (instead of being dropped and recomputed).
+    pub repaired: u64,
+    /// Vectors dropped by an invalidating write (a deletion whose victim
+    /// the vector's source could reach).
+    pub dropped: u64,
+    /// Vectors evicted by the capacity bound (least-recently-used).
+    pub evicted: u64,
+    /// Full flushes forced by an epoch mismatch (writes the cache was
+    /// not told about).
+    pub flushes: u64,
+}
+
+/// One cached landmark: a source node, its full distance vector over one
+/// graph, and the merge-dirty flag (see [`QueryCache`]'s invalidation
+/// rules).
+#[derive(Debug, Clone)]
+struct Landmark {
+    src: NodeId,
+    vec: DistanceVec,
+    /// Set while an un-relaxed insert may have extended this source's
+    /// reachable set beyond what `vec`'s `Some`/`None` pattern shows
+    /// (a component merge); cleared by the end-of-batch relaxation.
+    merge_dirty: bool,
+}
+
+/// One side's landmark store: full single-source distance vectors over
+/// one graph. Hits move to the front with an order-preserving shift
+/// (O(capacity) pointer moves on a ≤-hundreds-entry store — noise next
+/// to the vector lookup), so eviction from the back is
+/// least-recently-used.
+#[derive(Debug, Clone, Default)]
+struct VectorStore {
+    entries: Vec<Landmark>,
+}
+
+impl VectorStore {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Index of the entry sourced at `a` or (failing that) `b`.
+    fn find(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let mut fallback = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.src == a {
+                return Some(i);
+            }
+            if e.src == b {
+                fallback = Some(i);
+            }
+        }
+        fallback
+    }
+
+    /// The entry for `a` or `b`, computing (and caching) a fresh BFS
+    /// from `a` on a miss.
+    fn fetch(
+        &mut self,
+        g: &Graph,
+        a: NodeId,
+        b: NodeId,
+        capacity: usize,
+        stats: &mut CacheStats,
+    ) -> &Landmark {
+        if let Some(i) = self.find(a, b) {
+            stats.hits += 1;
+            // Move-to-front preserves the recency order of the rest, so
+            // the back really is least-recently-used.
+            let e = self.entries.remove(i);
+            self.entries.insert(0, e);
+            return &self.entries[0];
+        }
+        stats.misses += 1;
+        if self.entries.len() >= capacity {
+            stats.evicted += (self.entries.len() + 1 - capacity) as u64;
+            self.entries.truncate(capacity - 1);
+        }
+        self.entries.insert(
+            0,
+            Landmark {
+                src: a,
+                vec: traversal::bfs_distances(g, a),
+                merge_dirty: false,
+            },
+        );
+        &self.entries[0]
+    }
+}
+
+/// Folds one insertion into a landmark without repairing distances yet:
+/// the new node's slot gets its best upper bound through the attachment
+/// edges (`min over reachable neighbours + 1`), and the merge-dirty flag
+/// is raised when the insert touches both reachable and unreachable
+/// neighbours — the one case where the source's reachable set may grow
+/// beyond what the un-relaxed vector shows.
+fn fold_insert(e: &mut Landmark, node: NodeId, neighbors: &[NodeId]) {
+    // Kept vectors always cover exactly the pre-event node set, so the
+    // new node's slot is `vec.len()`.
+    debug_assert_eq!(e.vec.len(), node.index());
+    let mut best: Option<u32> = None;
+    let mut unreachable = false;
+    for a in neighbors {
+        match e.vec.get(a.index()).copied().flatten() {
+            Some(d) => best = Some(best.map_or(d + 1, |b: u32| b.min(d + 1))),
+            None => unreachable = true,
+        }
+    }
+    if best.is_some() && unreachable {
+        e.merge_dirty = true;
+    }
+    e.vec.push(best);
+}
+
+/// Exact post-insert repair of a distance vector: with only node
+/// insertions applied since the vector was valid, distances can only
+/// shrink, and every shortened (or newly connected) path passes through
+/// an inserted node — so a relaxation seeded at the new nodes and run to
+/// fixpoint over the *current* graph restores exactness. Nodes are
+/// re-queued whenever they improve, so out-of-order improvements (chains
+/// of new nodes, component merges) converge to true shortest distances.
+fn relax_from_new_nodes(g: &Graph, vec: &mut DistanceVec, seeds: &[NodeId]) {
+    let mut queue: VecDeque<NodeId> = seeds
+        .iter()
+        .copied()
+        .filter(|w| vec[w.index()].is_some())
+        .collect();
+    while let Some(x) = queue.pop_front() {
+        let Some(dx) = vec[x.index()] else { continue };
+        for y in g.neighbors(x) {
+            let cand = dx + 1;
+            if vec[y.index()].is_none_or(|old| old > cand) {
+                vec[y.index()] = Some(cand);
+                queue.push_back(y);
+            }
+        }
+    }
+}
+
+/// A landmark/pivot cache over a healer's views: memoized single-source
+/// distance vectors for the image and the ghost, answering
+/// [`distance`](QueryCache::distance) / [`path`](QueryCache::path) /
+/// [`stretch`](QueryCache::stretch) /
+/// [`same_component`](QueryCache::same_component) **exactly** — every
+/// answer equals the corresponding fresh [`QueryOps`] answer, which the
+/// query differential suite asserts along the adversarial traces.
+///
+/// # Incremental invalidation
+///
+/// The cache is kept sound by feeding it the write path's own typed
+/// outcomes ([`note_event`](QueryCache::note_event) /
+/// [`note_batch`](QueryCache::note_batch)) instead of rebuilding per
+/// query. Per batch, each kept vector folds the events in order and is
+/// then repaired in place; the rules (soundness arguments in DESIGN.md
+/// §10):
+///
+/// * **Insertions never invalidate.** New edges are all incident to the
+///   new node, so distances only shrink, and every shortened or newly
+///   connected path passes through an inserted node — a relaxation
+///   seeded at the batch's new nodes, run to fixpoint against the
+///   post-batch graph (`relax_from_new_nodes`), restores exactness.
+/// * **Deletion**: a vector is dropped iff its source could reach the
+///   victim (or a pending component merge makes reachability uncertain
+///   — the merge-dirty flag). Repairs only ever touch the victim's
+///   component (every participant is a ghost-neighbour of the victim,
+///   kept connected by the healing invariant), so unreachable sources
+///   are unaffected.
+/// * **Ghost vectors survive everything** (`G'` is insert-only, so only
+///   the insert relaxation applies) — which is what makes cached
+///   [`stretch`](QueryCache::stretch) cheap under churn.
+///
+/// If the underlying healer advanced without the cache being told (the
+/// view's epoch disagrees with the cache's), every entry is flushed —
+/// stale answers are structurally impossible, not just unlikely.
+///
+/// # Examples
+///
+/// ```
+/// use fg_core::query::{QueryCache, QueryOps};
+/// use fg_core::{ForgivingGraph, NetworkEvent, SelfHealer};
+/// use fg_graph::{generators, NodeId};
+///
+/// let mut fg = ForgivingGraph::from_graph(&generators::cycle(16))?;
+/// let mut cache = QueryCache::new(32);
+/// let (u, v) = (NodeId::new(1), NodeId::new(9));
+/// assert_eq!(cache.distance(&fg.view(), u, v), Some(8));
+/// assert_eq!(cache.distance(&fg.view(), u, NodeId::new(2)), Some(1));
+/// assert_eq!(cache.stats().misses, 1); // one BFS served both queries
+///
+/// // Writes invalidate incrementally through their typed outcomes.
+/// let event = NetworkEvent::delete(NodeId::new(5));
+/// let outcome = fg.apply_event(&event)?;
+/// cache.note_event(&fg.view(), &event, &outcome);
+/// assert_eq!(cache.distance(&fg.view(), u, v), fg.view().distance(u, v));
+/// # Ok::<(), fg_core::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryCache {
+    capacity: usize,
+    /// The epoch the cache's entries are valid at, once it has seen a
+    /// view.
+    synced: Option<u64>,
+    image: VectorStore,
+    ghost: VectorStore,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// A cache holding up to `capacity` distance vectors per graph side
+    /// (clamped to ≥ 1; least-recently-used eviction).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity: capacity.max(1),
+            synced: None,
+            image: VectorStore::default(),
+            ghost: VectorStore::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// What the cache has done so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Cached distance vectors currently held, summed across the image
+    /// and ghost sides (each side is bounded by the capacity
+    /// separately).
+    pub fn len(&self) -> usize {
+        self.image.entries.len() + self.ghost.entries.len()
+    }
+
+    /// Whether the cache holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached vector (stats are kept).
+    pub fn flush(&mut self) {
+        self.image.clear();
+        self.ghost.clear();
+        self.synced = None;
+    }
+
+    /// Reconciles the cache with `view`'s epoch: on a mismatch (a write
+    /// the cache was not told about) everything is flushed, so answers
+    /// can never be stale.
+    fn sync(&mut self, view: &(impl GraphView + ?Sized)) {
+        let epoch = view.epoch();
+        if self.synced != Some(epoch) {
+            if self.synced.is_some() {
+                self.stats.flushes += 1;
+            }
+            self.image.clear();
+            self.ghost.clear();
+            self.synced = Some(epoch);
+        }
+    }
+
+    /// Applies one write's invalidation rules (see the type docs) and
+    /// advances the cache's epoch by one. `view` is the healer's state
+    /// *after* the event was applied.
+    pub fn note_event(
+        &mut self,
+        view: &(impl GraphView + ?Sized),
+        event: &NetworkEvent,
+        outcome: &HealOutcome,
+    ) {
+        self.note_all(
+            view,
+            std::slice::from_ref(event),
+            std::slice::from_ref(outcome),
+        );
+    }
+
+    /// [`QueryCache::note_event`] over a whole ingestion batch: each
+    /// event pairs with its outcome from the batch report, deletions
+    /// fold their drop rules in order, and one relaxation pass per kept
+    /// vector repairs it against the post-batch `view`.
+    pub fn note_batch(
+        &mut self,
+        view: &(impl GraphView + ?Sized),
+        events: &[NetworkEvent],
+        report: &BatchReport,
+    ) {
+        self.note_all(view, events, &report.outcomes);
+    }
+
+    fn note_all(
+        &mut self,
+        view: &(impl GraphView + ?Sized),
+        events: &[NetworkEvent],
+        outcomes: &[HealOutcome],
+    ) {
+        let target = view.epoch();
+        let consistent = events.len() == outcomes.len()
+            && match self.synced {
+                None => true,
+                Some(e) => e + events.len() as u64 == target,
+            };
+        if !consistent {
+            // The caller skipped events (or paired the wrong outcomes):
+            // folding would corrupt the vectors, so flush instead.
+            if !self.image.entries.is_empty() || !self.ghost.entries.is_empty() {
+                self.stats.flushes += 1;
+            }
+            self.image.clear();
+            self.ghost.clear();
+            self.synced = Some(target);
+            return;
+        }
+
+        // The batch's inserted nodes — the relaxation seeds.
+        let seeds: Vec<NodeId> = outcomes.iter().filter_map(HealOutcome::node).collect();
+
+        // Image side: fold inserts (slot extension) and deletions (drop
+        // rules) in order, then repair survivors against the new image.
+        let stats = &mut self.stats;
+        self.image.entries.retain_mut(|e| {
+            for (event, outcome) in events.iter().zip(outcomes) {
+                match (event, outcome) {
+                    (NetworkEvent::Insert { neighbors }, HealOutcome::Inserted { node, .. }) => {
+                        fold_insert(e, *node, neighbors);
+                    }
+                    (NetworkEvent::Delete { node }, HealOutcome::Repaired { .. }) => {
+                        if e.merge_dirty || e.vec[node.index()].is_some() {
+                            stats.dropped += 1;
+                            return false;
+                        }
+                    }
+                    // Mismatched pair: the consistency check above makes
+                    // this unreachable, but drop soundly regardless.
+                    _ => {
+                        stats.dropped += 1;
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        // Ghost side: `G'` is insert-only, so deletions are no-ops and
+        // every vector survives.
+        for (event, outcome) in events.iter().zip(outcomes) {
+            if let (NetworkEvent::Insert { neighbors }, HealOutcome::Inserted { node, .. }) =
+                (event, outcome)
+            {
+                for e in &mut self.ghost.entries {
+                    fold_insert(e, *node, neighbors);
+                }
+            }
+        }
+        if !seeds.is_empty() {
+            for e in &mut self.image.entries {
+                relax_from_new_nodes(view.image(), &mut e.vec, &seeds);
+                e.merge_dirty = false;
+                stats.repaired += 1;
+            }
+            for e in &mut self.ghost.entries {
+                relax_from_new_nodes(view.ghost(), &mut e.vec, &seeds);
+                e.merge_dirty = false;
+                stats.repaired += 1;
+            }
+        }
+        self.synced = Some(target);
+    }
+
+    /// Cached [`QueryOps::distance`]: exact, O(1) after the source (or
+    /// target) vector is resident.
+    pub fn distance(
+        &mut self,
+        view: &(impl GraphView + ?Sized),
+        u: NodeId,
+        v: NodeId,
+    ) -> Option<u32> {
+        self.sync(view);
+        let image = view.image();
+        if !image.contains(u) || !image.contains(v) {
+            return None;
+        }
+        Self::lookup(&mut self.image, image, u, v, self.capacity, &mut self.stats)
+    }
+
+    /// The one landmark lookup: fetch the vector sourced at `u` or `v`
+    /// (computing from `u` on a miss) and read the other endpoint's
+    /// distance.
+    fn lookup(
+        store: &mut VectorStore,
+        g: &Graph,
+        u: NodeId,
+        v: NodeId,
+        capacity: usize,
+        stats: &mut CacheStats,
+    ) -> Option<u32> {
+        let lm = store.fetch(g, u, v, capacity, stats);
+        let other = if lm.src == u { v } else { u };
+        lm.vec[other.index()]
+    }
+
+    /// Cached [`QueryOps::path`]: the hop count comes from a cached
+    /// vector; the concrete shortest path is recovered by descending the
+    /// distance gradient through the image adjacency.
+    pub fn path(
+        &mut self,
+        view: &(impl GraphView + ?Sized),
+        u: NodeId,
+        v: NodeId,
+    ) -> Option<Vec<NodeId>> {
+        self.sync(view);
+        let image = view.image();
+        if !image.contains(u) || !image.contains(v) {
+            return None;
+        }
+        if u == v {
+            return Some(vec![u]);
+        }
+        let lm = self
+            .image
+            .fetch(image, u, v, self.capacity, &mut self.stats);
+        let (source, far) = (lm.src, if lm.src == u { v } else { u });
+        let vec = &lm.vec;
+        let mut hops = vec[far.index()]?;
+        // Walk downhill from `far` to the vector's source: every node at
+        // distance d > 0 has a neighbour at distance d - 1.
+        let mut down = Vec::with_capacity(hops as usize + 1);
+        let mut cur = far;
+        down.push(cur);
+        while hops > 0 {
+            cur = image
+                .neighbors(cur)
+                .find(|w| vec[w.index()] == Some(hops - 1))
+                .expect("distance gradients descend to their source");
+            down.push(cur);
+            hops -= 1;
+        }
+        debug_assert_eq!(down.last(), Some(&source));
+        if source == u {
+            down.reverse();
+        }
+        Some(down)
+    }
+
+    /// Cached [`QueryOps::same_component`].
+    pub fn same_component(
+        &mut self,
+        view: &(impl GraphView + ?Sized),
+        u: NodeId,
+        v: NodeId,
+    ) -> bool {
+        self.distance(view, u, v).is_some()
+    }
+
+    /// Cached [`QueryOps::stretch`] — image distance from the image-side
+    /// store, `G'` distance from the ghost-side store (which deletions
+    /// never invalidate).
+    pub fn stretch(
+        &mut self,
+        view: &(impl GraphView + ?Sized),
+        u: NodeId,
+        v: NodeId,
+    ) -> Option<f64> {
+        self.sync(view);
+        if !view.image().contains(u) || !view.image().contains(v) {
+            return None;
+        }
+        let image_d = Self::lookup(
+            &mut self.image,
+            view.image(),
+            u,
+            v,
+            self.capacity,
+            &mut self.stats,
+        );
+        let ghost_d = Self::lookup(
+            &mut self.ghost,
+            view.ghost(),
+            u,
+            v,
+            self.capacity,
+            &mut self.stats,
+        );
+        stretch_ratio(ghost_d, image_d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ForgivingGraph, SelfHealer};
+    use fg_graph::generators;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn stretch_ratio_convention() {
+        assert_eq!(stretch_ratio(Some(2), Some(3)), Some(1.5));
+        assert_eq!(stretch_ratio(Some(0), Some(0)), Some(0.0));
+        assert_eq!(stretch_ratio(Some(4), None), Some(f64::INFINITY));
+        assert_eq!(stretch_ratio(None, Some(3)), None);
+        assert_eq!(stretch_ratio(None, None), None);
+    }
+
+    #[test]
+    fn query_ops_answers_match_ground_truth() {
+        let mut fg = ForgivingGraph::from_graph(&generators::cycle(10)).unwrap();
+        let _ = fg.delete(n(4)).unwrap();
+        let view = fg.view();
+        // 3 and 5 were cycle-adjacent to the victim; the repair keeps
+        // them connected within the stretch bound.
+        let d = view.distance(n(3), n(5)).unwrap();
+        let path = view.path(n(3), n(5)).unwrap();
+        assert_eq!(path.len() as u32, d + 1);
+        for pair in path.windows(2) {
+            assert!(view.image().has_edge(pair[0], pair[1]));
+        }
+        assert!(view.same_component(n(3), n(5)));
+        // Ghost distance is 2 (through the dead node).
+        assert_eq!(view.stretch(n(3), n(5)), Some(f64::from(d) / 2.0));
+        assert_eq!(view.distance(n(3), n(4)), None);
+        assert_eq!(view.stretch(n(4), n(5)), None);
+        assert_eq!(view.degree(n(4)), None);
+        assert_eq!(view.neighbors(n(4)), Vec::<NodeId>::new());
+        assert!(view.degree(n(3)).unwrap() >= 2);
+    }
+
+    #[test]
+    fn cache_answers_equal_fresh_answers_under_churn() {
+        let mut fg =
+            ForgivingGraph::from_graph(&generators::connected_erdos_renyi(24, 0.12, 5)).unwrap();
+        let mut cache = QueryCache::new(8);
+        let events = [
+            NetworkEvent::insert([n(3)]),
+            NetworkEvent::delete(n(7)),
+            NetworkEvent::insert([n(1), n(2)]),
+            NetworkEvent::delete(n(0)),
+            NetworkEvent::insert([n(24)]),
+        ];
+        for event in events {
+            let outcome = fg.apply_event(&event).unwrap();
+            cache.note_event(&fg.view(), &event, &outcome);
+            let view = fg.view();
+            for u in 0..view.ghost().nodes_ever() as u32 {
+                for v in 0..view.ghost().nodes_ever() as u32 {
+                    let (u, v) = (n(u), n(v));
+                    assert_eq!(cache.distance(&view, u, v), view.distance(u, v));
+                    assert_eq!(cache.stretch(&view, u, v), view.stretch(u, v));
+                    let cached = cache.path(&view, u, v);
+                    let fresh = view.path(u, v);
+                    assert_eq!(cached.is_some(), fresh.is_some());
+                    if let (Some(c), Some(f)) = (cached, fresh) {
+                        assert_eq!(c.len(), f.len(), "paths must be equally short");
+                        assert_eq!(c.first(), Some(&u));
+                        assert_eq!(c.last(), Some(&v));
+                        for pair in c.windows(2) {
+                            assert!(view.image().has_edge(pair[0], pair[1]));
+                        }
+                    }
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > stats.misses,
+            "repeat sources must hit: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn inserts_repair_vectors_in_place() {
+        let mut fg = ForgivingGraph::from_graph(&generators::path(6)).unwrap();
+        let mut cache = QueryCache::new(4);
+        assert_eq!(cache.distance(&fg.view(), n(0), n(5)), Some(5));
+        assert_eq!(cache.stats().misses, 1);
+        // A leaf insert extends the vector...
+        let event = NetworkEvent::insert([n(5)]);
+        let outcome = fg.apply_event(&event).unwrap();
+        cache.note_event(&fg.view(), &event, &outcome);
+        assert_eq!(cache.distance(&fg.view(), n(0), n(6)), Some(6));
+        // ...and a shortcut insert (node 7 bridging 0 and 5) relaxes
+        // every stale distance instead of dropping the vector.
+        let event = NetworkEvent::insert([n(0), n(5)]);
+        let outcome = fg.apply_event(&event).unwrap();
+        cache.note_event(&fg.view(), &event, &outcome);
+        assert_eq!(cache.distance(&fg.view(), n(0), n(5)), Some(2));
+        assert_eq!(cache.distance(&fg.view(), n(0), n(6)), Some(3));
+        assert_eq!(cache.distance(&fg.view(), n(0), n(3)), Some(3));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "no vector was ever recomputed");
+        assert!(stats.repaired >= 2);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn merging_inserts_restore_cross_component_distances() {
+        // Two disjoint paths; the cached vector learns the far side the
+        // moment an insert bridges them.
+        let mut g = fg_graph::Graph::with_nodes(6);
+        g.add_edge(n(0), n(1)).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(3), n(4)).unwrap();
+        g.add_edge(n(4), n(5)).unwrap();
+        let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+        let mut cache = QueryCache::new(4);
+        assert_eq!(cache.distance(&fg.view(), n(0), n(5)), None);
+        let event = NetworkEvent::insert([n(2), n(3)]);
+        let outcome = fg.apply_event(&event).unwrap();
+        cache.note_event(&fg.view(), &event, &outcome);
+        // 0-1-2-6-3-4-5.
+        assert_eq!(cache.distance(&fg.view(), n(0), n(5)), Some(6));
+        assert_eq!(cache.distance(&fg.view(), n(0), n(6)), Some(3));
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn unnoted_writes_force_a_flush_not_a_stale_answer() {
+        let mut fg = ForgivingGraph::from_graph(&generators::cycle(8)).unwrap();
+        let mut cache = QueryCache::new(4);
+        assert_eq!(cache.distance(&fg.view(), n(0), n(4)), Some(4));
+        // Mutate without telling the cache.
+        let _ = fg.delete(n(2)).unwrap();
+        let fresh = fg.view().distance(n(0), n(4));
+        assert_eq!(cache.distance(&fg.view(), n(0), n(4)), fresh);
+        assert_eq!(cache.stats().flushes, 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_fifo() {
+        let fg = ForgivingGraph::from_graph(&generators::cycle(8)).unwrap();
+        let mut cache = QueryCache::new(2);
+        let view = fg.view();
+        for s in 0..4u32 {
+            let _ = cache.distance(&view, n(s), n((s + 1) % 8));
+        }
+        assert!(cache.len() <= 2);
+        assert!(cache.stats().evicted >= 2);
+    }
+}

@@ -165,6 +165,27 @@ mod tests {
     }
 
     #[test]
+    fn views_are_barrier_consistent_snapshots() {
+        use fg_core::{GraphView, QueryOps};
+        let g = generators::star(9);
+        let mut dist = DistHealer::from_graph(&g, PlacementPolicy::Adjacent);
+        let mut engine = fg_core::ForgivingGraph::from_graph(&g).unwrap();
+        let _ = SelfHealer::delete(&mut dist, n(0)).unwrap();
+        let _ = engine.delete(n(0)).unwrap();
+        // The protocol's view is materialized at the round barrier, so
+        // it answers exactly like the engine's.
+        let (dv, ev) = (dist.view(), engine.view());
+        assert_eq!(dv.epoch(), ev.epoch());
+        for u in 1..9u32 {
+            for v in 1..9u32 {
+                assert_eq!(dv.distance(n(u), n(v)), ev.distance(n(u), n(v)));
+                assert_eq!(dv.stretch(n(u), n(v)), ev.stretch(n(u), n(v)));
+            }
+        }
+        assert_eq!(dist.network().view().epoch(), dv.epoch());
+    }
+
+    #[test]
     fn batches_pinpoint_failing_events() {
         let mut healer = DistHealer::from_graph(&generators::path(4), PlacementPolicy::Adjacent);
         let err = healer

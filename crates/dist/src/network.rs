@@ -140,6 +140,21 @@ impl Network {
         self.alive.get(v.index()).copied().unwrap_or(false)
     }
 
+    /// An epoch-stamped read-only snapshot of the protocol state **at a
+    /// round barrier**.
+    ///
+    /// Between public operations the round executor has always run to
+    /// quiescence: every effect log of the last repair round was merged
+    /// and applied to the shared `ProcStore` surface at the barrier, so
+    /// the image this view exposes is the exact materialization of the
+    /// per-processor state — never a mid-round mixture. Query it through
+    /// `fg_core::QueryOps`; the query differential suite asserts its
+    /// answers are bit-identical to the sequential engine's views along
+    /// every adversarial trace.
+    pub fn view(&self) -> fg_core::View<'_> {
+        fg_core::View::over(self.image(), self.ghost())
+    }
+
     /// Live node count.
     pub fn alive_count(&self) -> usize {
         self.image.simple().node_count()

@@ -60,31 +60,160 @@ pub fn bfs_parents(g: &Graph, src: NodeId) -> Vec<Option<NodeId>> {
 
 /// Length of the shortest path between `u` and `v`, if any.
 ///
-/// Uses an early-exit BFS from `u`.
+/// Thin wrapper over [`bidirectional_distance`] — the single pairwise
+/// query kernel shared by `fg_core::query::QueryOps` and the stretch
+/// measurements.
 pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+    bidirectional_distance(g, u, v)
+}
+
+/// One frontier of a bidirectional BFS: distances, optional parents, and
+/// the current wave of nodes. Parents are tracked only for
+/// [`shortest_path`] — plain [`bidirectional_distance`] queries skip the
+/// allocation entirely.
+struct Frontier {
+    dist: DistanceVec,
+    parent: Vec<Option<NodeId>>,
+    wave: Vec<NodeId>,
+    depth: u32,
+}
+
+impl Frontier {
+    fn seeded(n: usize, src: NodeId, track_parents: bool) -> Frontier {
+        let mut f = Frontier {
+            dist: vec![None; n],
+            parent: if track_parents {
+                vec![None; n]
+            } else {
+                Vec::new()
+            },
+            wave: vec![src],
+            depth: 0,
+        };
+        f.dist[src.index()] = Some(0);
+        if track_parents {
+            f.parent[src.index()] = Some(src);
+        }
+        f
+    }
+
+    /// Expands this side by one level; returns the best meeting point
+    /// with `other` discovered during the expansion, as
+    /// `(total distance, meeting node)`.
+    fn expand(&mut self, g: &Graph, other: &Frontier) -> Option<(u32, NodeId)> {
+        let mut best: Option<(u32, NodeId)> = None;
+        let mut next = Vec::new();
+        let track_parents = !self.parent.is_empty();
+        for &x in &self.wave {
+            for y in g.neighbors(x) {
+                if self.dist[y.index()].is_none() {
+                    self.dist[y.index()] = Some(self.depth + 1);
+                    if track_parents {
+                        self.parent[y.index()] = Some(x);
+                    }
+                    next.push(y);
+                }
+                if let Some(dy) = other.dist[y.index()] {
+                    let total = self.dist[y.index()].expect("just labelled") + dy;
+                    if best.is_none_or(|(b, _)| total < b) {
+                        best = Some((total, y));
+                    }
+                }
+            }
+        }
+        self.wave = next;
+        self.depth += 1;
+        best
+    }
+}
+
+/// Runs the bidirectional search shared by [`bidirectional_distance`] and
+/// [`shortest_path`]: alternately expands the smaller frontier until the
+/// best meeting point found so far provably cannot be improved. Returns
+/// the distance, the best meeting node, and both frontiers.
+fn bidirectional_search(
+    g: &Graph,
+    u: NodeId,
+    v: NodeId,
+    track_parents: bool,
+) -> Option<(u32, NodeId, Frontier, Frontier)> {
+    // The callers answer `u == v` without a search (and without paying
+    // for the two O(nodes_ever) frontier allocations).
+    debug_assert_ne!(u, v);
     if !g.contains(u) || !g.contains(v) {
         return None;
     }
-    if u == v {
-        return Some(0);
-    }
-    let mut dist: DistanceVec = vec![None; g.nodes_ever()];
-    let mut queue = VecDeque::new();
-    dist[u.index()] = Some(0);
-    queue.push_back(u);
-    while let Some(x) = queue.pop_front() {
-        let dx = dist[x.index()].expect("queued nodes have distances");
-        for y in g.neighbors(x) {
-            if dist[y.index()].is_none() {
-                if y == v {
-                    return Some(dx + 1);
-                }
-                dist[y.index()] = Some(dx + 1);
-                queue.push_back(y);
+    let n = g.nodes_ever();
+    let mut from_u = Frontier::seeded(n, u, track_parents);
+    let mut from_v = Frontier::seeded(n, v, track_parents);
+    let mut best: Option<(u32, NodeId)> = None;
+    loop {
+        // Every u-v path of length ≤ d_u + d_v has a node labelled by
+        // both waves (and was therefore recorded as a meeting), so once
+        // the best recorded meeting is ≤ d_u + d_v + 1 it cannot be
+        // beaten by anything still undiscovered.
+        if let Some((b, meet)) = best {
+            if b <= from_u.depth + from_v.depth + 1 {
+                return Some((b, meet, from_u, from_v));
+            }
+        }
+        if from_u.wave.is_empty() || from_v.wave.is_empty() {
+            return best.map(|(b, meet)| (b, meet, from_u, from_v));
+        }
+        let found = if from_u.wave.len() <= from_v.wave.len() {
+            from_u.expand(g, &from_v)
+        } else {
+            from_v.expand(g, &from_u)
+        };
+        if let Some((total, meet)) = found {
+            if best.is_none_or(|(b, _)| total < b) {
+                best = Some((total, meet));
             }
         }
     }
-    None
+}
+
+/// Length of the shortest live path between `u` and `v`, by bidirectional
+/// BFS — two waves grown from both endpoints, the smaller expanded first,
+/// meeting in the middle. Exact, and typically touches `O(√space)` of a
+/// full single-source BFS on expander-like networks.
+///
+/// `Some(0)` when `u == v` and live; `None` when either endpoint is dead
+/// or the pair is disconnected.
+pub fn bidirectional_distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+    if u == v {
+        return g.contains(u).then_some(0);
+    }
+    bidirectional_search(g, u, v, false).map(|(d, _, _, _)| d)
+}
+
+/// A shortest live path from `u` to `v` inclusive of both endpoints, by
+/// the same bidirectional kernel as [`bidirectional_distance`] (the two
+/// half-paths are stitched at the meeting node).
+///
+/// `Some(vec![u])` when `u == v` and live; `None` when either endpoint is
+/// dead or the pair is disconnected. The returned path has exactly
+/// `distance(g, u, v) + 1` nodes, consecutive nodes adjacent in `g`.
+pub fn shortest_path(g: &Graph, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    if u == v {
+        return g.contains(u).then(|| vec![u]);
+    }
+    let (total, meet, from_u, from_v) = bidirectional_search(g, u, v, true)?;
+    let mut path = Vec::with_capacity(total as usize + 1);
+    // Walk meet → u, then reverse, then extend meet → v.
+    let mut cur = meet;
+    while cur != u {
+        path.push(cur);
+        cur = from_u.parent[cur.index()].expect("u-side labels have parents");
+    }
+    path.push(u);
+    path.reverse();
+    let mut cur = meet;
+    while cur != v {
+        cur = from_v.parent[cur.index()].expect("v-side labels have parents");
+        path.push(cur);
+    }
+    Some(path)
 }
 
 /// Whether all live nodes are mutually reachable.
@@ -248,6 +377,62 @@ mod tests {
         assert_eq!(p[1], Some(n(0)));
         assert_eq!(p[2], Some(n(1)));
         assert_eq!(p[3], Some(n(2)));
+    }
+
+    #[test]
+    fn bidirectional_agrees_with_single_source_bfs() {
+        // A cycle with a chord and a pendant: multiple equal-length
+        // routes, an off-path detour, and a dead node.
+        let mut g = path_graph(8);
+        g.add_edge(n(7), n(0)).unwrap();
+        g.add_edge(n(2), n(6)).unwrap();
+        let p = g.add_node();
+        g.add_edge(n(4), p).unwrap();
+        g.remove_node(n(5)).unwrap();
+        for u in g.iter() {
+            let ref_dist = bfs_distances(&g, u);
+            for v in g.iter() {
+                assert_eq!(
+                    bidirectional_distance(&g, u, v),
+                    ref_dist[v.index()],
+                    "({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_valid_and_tight() {
+        let mut g = path_graph(8);
+        g.add_edge(n(7), n(0)).unwrap();
+        g.add_edge(n(2), n(6)).unwrap();
+        for u in g.iter() {
+            for v in g.iter() {
+                let d = distance(&g, u, v);
+                match shortest_path(&g, u, v) {
+                    None => assert_eq!(d, None, "({u}, {v})"),
+                    Some(path) => {
+                        assert_eq!(path.len() as u32, d.unwrap() + 1, "({u}, {v})");
+                        assert_eq!(path.first(), Some(&u));
+                        assert_eq!(path.last(), Some(&v));
+                        for pair in path.windows(2) {
+                            assert!(g.has_edge(pair[0], pair[1]), "({u}, {v}): {path:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_queries_reject_dead_endpoints() {
+        let mut g = path_graph(4);
+        g.remove_node(n(3)).unwrap();
+        assert_eq!(bidirectional_distance(&g, n(0), n(3)), None);
+        assert_eq!(bidirectional_distance(&g, n(3), n(0)), None);
+        assert_eq!(shortest_path(&g, n(0), n(3)), None);
+        assert_eq!(shortest_path(&g, n(2), n(2)), Some(vec![n(2)]));
+        assert_eq!(bidirectional_distance(&g, n(2), n(2)), Some(0));
     }
 
     #[test]

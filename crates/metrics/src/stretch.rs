@@ -5,7 +5,16 @@
 //! `max_{x,y} dist(x, y, G) / dist(x, y, G')` over live pairs, where `G'`
 //! paths may pass through deleted nodes. Theorem 1.2 bounds this by
 //! `⌈log₂ n⌉`.
+//!
+//! This module is a thin aggregation layer over the shared query path:
+//! per-source vectors come from the one BFS kernel in
+//! `fg_graph::traversal`, and every pair's ratio goes through
+//! [`fg_core::stretch_ratio`] — the same convention
+//! `fg_core::QueryOps::stretch` serves online — so offline sweeps and
+//! the live query API can never disagree on what "stretch" means (the
+//! query differential suite cross-checks them pair by pair).
 
+use fg_core::stretch_ratio;
 use fg_graph::{traversal, Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -57,10 +66,8 @@ pub fn stretch_from_sources(image: &Graph, ghost: &Graph, sources: &[NodeId]) ->
             // unreachable.
             let g = dg.get(y.index()).copied().flatten();
             let i = di.get(y.index()).copied().flatten();
-            let ratio = match (g, i) {
-                (Some(g), Some(i)) => i as f64 / (g.max(1) as f64),
-                (Some(_), None) => f64::INFINITY,
-                _ => continue,
+            let Some(ratio) = stretch_ratio(g, i) else {
+                continue;
             };
             stats.pairs += 1;
             total += ratio;

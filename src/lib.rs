@@ -29,7 +29,11 @@ pub use fg_haft as haft;
 pub use fg_metrics as metrics;
 
 /// One-stop imports for driving any healer through the typed
-/// operation/outcome API.
+/// operation/outcome API — write side *and* read side: every healer
+/// hands out epoch-stamped snapshot views (`view()`) answering
+/// [`QueryOps`](fg_core::QueryOps) reads, with
+/// [`QueryCache`](fg_core::QueryCache) as the landmark-cached serving
+/// layer.
 ///
 /// ```
 /// use forgiving_graph::prelude::*;
@@ -40,6 +44,9 @@ pub use fg_metrics as metrics;
 /// for healer in [&mut engine as &mut dyn SelfHealer, &mut protocol] {
 ///     let report = healer.delete(NodeId::new(0))?;
 ///     assert_eq!(report.leaves_created, 8);
+///     // The read side: snapshot views answer distance/stretch queries.
+///     let view = healer.view();
+///     assert!(view.distance(NodeId::new(1), NodeId::new(2)).is_some());
 /// }
 /// # Ok::<(), fg_core::EngineError>(())
 /// ```
@@ -48,10 +55,14 @@ pub mod prelude {
     pub use fg_baselines::{
         BinaryTreeHealer, CliqueHealer, CycleHealer, ForgivingTree, NoHealer, StarHealer,
     };
-    pub use fg_bench::{scenario, Scenario, ScenarioRunner, WORKLOADS};
+    pub use fg_bench::{
+        scenario, MixedRunResult, QueryMix, QueryStats, QueryWorkload, Scenario, ScenarioRunner,
+        WORKLOADS,
+    };
     pub use fg_core::{
-        BatchReport, EngineError, ForgivingGraph, HealOutcome, HealerObserver, InsertReport,
-        NetworkEvent, NoopObserver, PlacementPolicy, RepairReport, SelfHealer,
+        stretch_ratio, BatchReport, CacheStats, EngineError, ForgivingGraph, GraphView,
+        HealOutcome, HealerObserver, InsertReport, NetworkEvent, NoopObserver, PlacementPolicy,
+        QueryCache, QueryOps, RepairReport, SelfHealer, View,
     };
     pub use fg_dist::{DistHealer, Network, RepairCost};
     pub use fg_graph::{Graph, NodeId};

@@ -18,7 +18,8 @@
 //! [`fg_core::ReportDigest`]: forgiving_graph::core::ReportDigest
 
 use forgiving_graph::bench::replay::{
-    first_digest_drift, format_digest_file, parse_digest_file, replay_digests, ReplayBackend,
+    first_digest_drift, format_digest_file, parse_digest_file, replay_digests,
+    replay_query_digests, ReplayBackend,
 };
 use forgiving_graph::bench::{scenario, Scenario};
 use std::path::PathBuf;
@@ -31,6 +32,12 @@ const CORPUS: &[(&str, usize, usize, u64)] = &[
     ("hub-cascade", 24, 120, 7),
     ("partition-then-heal", 24, 120, 7),
 ];
+
+/// Probe-set parameters for the pinned query digests (`*.queries`
+/// files): the seed and pairs-per-event of
+/// [`replay_query_digests`]'s deterministic sampler.
+const QUERY_SEED: u64 = 0xfade;
+const QUERY_PROBES: usize = 4;
 
 fn golden_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR is crates/umbrella; the corpus lives at the
@@ -91,12 +98,70 @@ fn golden_corpus_matches_distributed_replay_at_every_width() {
 #[test]
 fn golden_files_carry_provenance_headers() {
     for &(name, _, _, _) in CORPUS {
-        let text = std::fs::read_to_string(golden_dir().join(format!("{name}.digests")))
-            .expect("digest file");
-        assert!(
-            text.starts_with("# "),
-            "{name}.digests lost its provenance header"
-        );
+        for ext in ["digests", "queries"] {
+            let text = std::fs::read_to_string(golden_dir().join(format!("{name}.{ext}")))
+                .expect("golden file");
+            assert!(
+                text.starts_with("# "),
+                "{name}.{ext} lost its provenance header"
+            );
+        }
+    }
+}
+
+fn load_queries(name: &str) -> (Scenario, Vec<u64>) {
+    let dir = golden_dir();
+    let trace = std::fs::read_to_string(dir.join(format!("{name}.trace")))
+        .unwrap_or_else(|e| panic!("missing golden trace {name}.trace: {e}"));
+    let digests = std::fs::read_to_string(dir.join(format!("{name}.queries")))
+        .unwrap_or_else(|e| panic!("missing golden query digests {name}.queries: {e}"));
+    (
+        Scenario::read_trace(name, &trace),
+        parse_digest_file(&digests),
+    )
+}
+
+#[test]
+fn golden_query_answers_match_engine_replay() {
+    // The read side is pinned alongside the outcome digests: after
+    // every event, a seeded probe set's distance/path/stretch/
+    // component/degree answers fold into one digest per event. Any
+    // change to what the query API answers on these traces fails here
+    // with the exact event index.
+    for &(name, _, events, _) in CORPUS {
+        let (sc, recorded) = load_queries(name);
+        assert_eq!(recorded.len(), events, "{name}: query digests truncated");
+        let replayed = replay_query_digests(&sc, ReplayBackend::Engine, QUERY_SEED, QUERY_PROBES)
+            .unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        if let Some((index, want, got)) = first_digest_drift(&recorded, &replayed) {
+            panic!(
+                "{name}: query digest drift at event {index} (recorded {want:016x}, got \
+                 {got:016x}) — a query answer changed; if intentional, regenerate via \
+                 `cargo test -p forgiving-graph --test golden_traces -- --ignored` \
+                 and review the diff"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_query_answers_match_distributed_replay() {
+    for &(name, _, _, _) in CORPUS {
+        let (sc, recorded) = load_queries(name);
+        for threads in [1usize, 4] {
+            let replayed = replay_query_digests(
+                &sc,
+                ReplayBackend::Dist { threads },
+                QUERY_SEED,
+                QUERY_PROBES,
+            )
+            .unwrap_or_else(|e| panic!("{name} @ {threads} threads: replay failed: {e}"));
+            assert_eq!(
+                first_digest_drift(&recorded, &replayed),
+                None,
+                "{name} @ {threads} threads drifted from the golden query digests"
+            );
+        }
     }
 }
 
@@ -121,6 +186,18 @@ fn regenerate_golden_corpus() {
             format_digest_file(&header, &digests),
         )
         .expect("write digests");
+        let queries = replay_query_digests(&sc, ReplayBackend::Engine, QUERY_SEED, QUERY_PROBES)
+            .expect("engine query replay");
+        let query_header = format!(
+            "golden query digests: workload {name}, n {n}, events {events}, seed {seed}, \
+             probe seed {QUERY_SEED:#x}, {QUERY_PROBES} pairs/event\n\
+             regenerate: cargo test -p forgiving-graph --test golden_traces -- --ignored"
+        );
+        std::fs::write(
+            dir.join(format!("{name}.queries")),
+            format_digest_file(&query_header, &queries),
+        )
+        .expect("write query digests");
         eprintln!("regenerated {name}: {events} events");
     }
 }

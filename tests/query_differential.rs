@@ -1,0 +1,262 @@
+//! Query differential suite: every answer the read API gives — through
+//! an engine view, a distributed-protocol view, or the incrementally
+//! invalidated [`QueryCache`] — must equal fresh-BFS ground truth on the
+//! materialized image graph, at many points along the same 144
+//! adversarial traces the state differential suite replays (12 seeds ×
+//! 2 placement policies × 2 workloads × 3 adversaries).
+//!
+//! Checked per checkpoint, for a seeded pair sample:
+//!
+//! * `distance(u, v)` equals the BFS distance vector entry;
+//! * `path(u, v)` exists iff `distance` does, has exactly
+//!   `distance + 1` nodes, starts at `u`, ends at `v`, and walks real
+//!   image edges;
+//! * `same_component` equals distance reachability;
+//! * `stretch(u, v)` equals the ratio convention applied to fresh ghost
+//!   and image BFS vectors (the same convention `fg_metrics` aggregates);
+//! * the [`QueryCache`] — fed every event's typed outcome, so its
+//!   landmarks live through leaf extensions, shortcut relaxations,
+//!   component merges and deletion drops — answers identically;
+//! * engine and protocol views agree with each other and carry the same
+//!   epoch.
+//!
+//! [`QueryCache`]: forgiving_graph::core::QueryCache
+
+use forgiving_graph::adversary::{
+    run_attack, Adversary, ChurnAdversary, MaxDegreeDeleter, RandomDeleter,
+};
+use forgiving_graph::core::{
+    stretch_ratio, ForgivingGraph, GraphView, PlacementPolicy, QueryCache, QueryOps, SelfHealer,
+};
+use forgiving_graph::dist::DistHealer;
+use forgiving_graph::graph::{generators, traversal, Graph, NodeId};
+
+/// Seeded, allocation-light pair sampler: a handful of (u, v) probes per
+/// checkpoint, spread over the node universe (live and dead ids both —
+/// dead endpoints must answer `None`).
+fn probe_pairs(nodes_ever: usize, salt: u64, count: usize) -> Vec<(NodeId, NodeId)> {
+    let n = nodes_ever.max(1) as u64;
+    let mut state = salt ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        // SplitMix64 — deterministic and dependency-free.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            (
+                NodeId::new((next() % n) as u32),
+                NodeId::new((next() % n) as u32),
+            )
+        })
+        .collect()
+}
+
+/// Ground truth for one pair from fresh BFS vectors on the materialized
+/// graphs: `(image distance, ghost distance, stretch)`.
+fn ground_truth(
+    image: &Graph,
+    ghost: &Graph,
+    u: NodeId,
+    v: NodeId,
+) -> (Option<u32>, Option<u32>, Option<f64>) {
+    let di = if image.contains(u) {
+        traversal::bfs_distances(image, u)
+            .get(v.index())
+            .copied()
+            .flatten()
+    } else {
+        None
+    };
+    let dg = if ghost.contains(u) {
+        traversal::bfs_distances(ghost, u)
+            .get(v.index())
+            .copied()
+            .flatten()
+    } else {
+        None
+    };
+    let stretch = if image.contains(u) && image.contains(v) {
+        stretch_ratio(dg, di)
+    } else {
+        None
+    };
+    (di, dg, stretch)
+}
+
+fn check_view(
+    label: &str,
+    step: usize,
+    view: &impl GraphView,
+    cache: &mut QueryCache,
+    pairs: &[(NodeId, NodeId)],
+) {
+    for &(u, v) in pairs {
+        let (want_d, _, want_s) = ground_truth(view.image(), view.ghost(), u, v);
+        let ctx = format!("{label} step {step} pair ({u}, {v})");
+
+        assert_eq!(view.distance(u, v), want_d, "{ctx}: distance");
+        assert_eq!(view.same_component(u, v), want_d.is_some(), "{ctx}: comp");
+        assert_eq!(view.stretch(u, v), want_s, "{ctx}: stretch");
+        match (view.path(u, v), want_d) {
+            (None, None) => {}
+            (Some(path), Some(d)) => {
+                assert_eq!(path.len() as u32, d + 1, "{ctx}: path length");
+                assert_eq!(path.first(), Some(&u), "{ctx}: path start");
+                assert_eq!(path.last(), Some(&v), "{ctx}: path end");
+                for pair in path.windows(2) {
+                    assert!(
+                        view.image().has_edge(pair[0], pair[1]),
+                        "{ctx}: path edge {pair:?}"
+                    );
+                }
+            }
+            (got, want) => panic!("{ctx}: path {got:?} vs distance {want:?}"),
+        }
+        assert_eq!(
+            view.degree(u),
+            view.image().contains(u).then(|| view.image().degree(u)),
+            "{ctx}: degree"
+        );
+
+        // The landmark cache — still warm from earlier checkpoints and
+        // incrementally invalidated ever since — must answer exactly
+        // the same.
+        assert_eq!(cache.distance(view, u, v), want_d, "{ctx}: cached distance");
+        assert_eq!(cache.stretch(view, u, v), want_s, "{ctx}: cached stretch");
+        assert_eq!(
+            cache.same_component(view, u, v),
+            want_d.is_some(),
+            "{ctx}: cached comp"
+        );
+        match (cache.path(view, u, v), want_d) {
+            (None, None) => {}
+            (Some(path), Some(d)) => {
+                assert_eq!(path.len() as u32, d + 1, "{ctx}: cached path length");
+                assert_eq!(path.first(), Some(&u), "{ctx}: cached path start");
+                assert_eq!(path.last(), Some(&v), "{ctx}: cached path end");
+                for pair in path.windows(2) {
+                    assert!(
+                        view.image().has_edge(pair[0], pair[1]),
+                        "{ctx}: cached path edge {pair:?}"
+                    );
+                }
+            }
+            (got, want) => panic!("{ctx}: cached path {got:?} vs distance {want:?}"),
+        }
+    }
+}
+
+/// Records a trace with a scratch engine, then replays it through a
+/// fresh engine and a fresh distributed healer, checking query answers
+/// against ground truth at every `stride`-th event (and the last).
+/// Returns the number of checkpoints verified.
+fn lockstep_query_replay(
+    label: &str,
+    g: &Graph,
+    adversary: &mut dyn Adversary,
+    policy: PlacementPolicy,
+    stride: usize,
+    probes: usize,
+) -> usize {
+    let mut scratch = ForgivingGraph::from_graph_with_policy(g, policy).unwrap();
+    let log = run_attack(&mut scratch, adversary, 400).unwrap();
+
+    let mut fg = ForgivingGraph::from_graph_with_policy(g, policy).unwrap();
+    let mut dist = DistHealer::from_graph(g, policy);
+    // Both caches are fed every event and live across the whole trace,
+    // so checkpoints after invalidations (drops, relaxations, merges)
+    // are exercised by construction.
+    let mut fg_cache = QueryCache::new(8);
+    let mut dist_cache = QueryCache::new(8);
+    let mut checkpoints = 0usize;
+    let last = log.events.len().saturating_sub(1);
+    for (step, event) in log.events.iter().enumerate() {
+        let a = SelfHealer::apply_event(&mut fg, event).unwrap();
+        let b = SelfHealer::apply_event(&mut dist, event).unwrap();
+        assert_eq!(a, b, "{label}: outcomes diverged at step {step}");
+        fg_cache.note_event(&fg.view(), event, &a);
+        dist_cache.note_event(&SelfHealer::view(&dist), event, &b);
+        if step % stride != 0 && step != last {
+            continue;
+        }
+        checkpoints += 1;
+        let ev = fg.view();
+        let dv = SelfHealer::view(&dist);
+        assert_eq!(ev.epoch(), dv.epoch(), "{label}: epochs diverged at {step}");
+        let pairs = probe_pairs(ev.ghost().nodes_ever(), step as u64 ^ ev.epoch(), probes);
+        check_view(&format!("{label}/engine"), step, &ev, &mut fg_cache, &pairs);
+        check_view(&format!("{label}/dist"), step, &dv, &mut dist_cache, &pairs);
+    }
+    checkpoints
+}
+
+#[test]
+fn query_answers_match_fresh_bfs_on_all_traces() {
+    let mut traces = 0usize;
+    let mut checkpoints = 0usize;
+    for seed in 0..12u64 {
+        for policy in [PlacementPolicy::Adjacent, PlacementPolicy::PaperExact] {
+            let workloads = [
+                ("er", generators::connected_erdos_renyi(18, 0.14, seed)),
+                ("ba", generators::barabasi_albert(18, 2, seed)),
+            ];
+            for (wl, g) in workloads {
+                checkpoints += lockstep_query_replay(
+                    &format!("{wl}/random/{seed}/{policy:?}"),
+                    &g,
+                    &mut RandomDeleter::new(seed, 5),
+                    policy,
+                    2,
+                    4,
+                );
+                checkpoints += lockstep_query_replay(
+                    &format!("{wl}/hub/{seed}/{policy:?}"),
+                    &g,
+                    &mut MaxDegreeDeleter::new(5),
+                    policy,
+                    2,
+                    4,
+                );
+                checkpoints += lockstep_query_replay(
+                    &format!("{wl}/churn/{seed}/{policy:?}"),
+                    &g,
+                    &mut ChurnAdversary::new(seed.wrapping_add(7), 0.6, 3, 4, 40),
+                    policy,
+                    3,
+                    4,
+                );
+                traces += 3;
+            }
+        }
+    }
+    assert_eq!(traces, 144, "the full trace corpus must be covered");
+    assert!(checkpoints > 1000, "only {checkpoints} checkpoints checked");
+}
+
+#[test]
+fn caches_survive_heavy_churn_with_tiny_capacity() {
+    // A capacity-2 cache under churn: constant eviction plus
+    // invalidation, still never a wrong answer.
+    let g = generators::connected_erdos_renyi(20, 0.15, 5);
+    let mut fg = ForgivingGraph::from_graph(&g).unwrap();
+    let mut cache = QueryCache::new(2);
+    let mut adv = ChurnAdversary::new(3, 0.5, 3, 3, 60);
+    let mut scratch = ForgivingGraph::from_graph(&g).unwrap();
+    let log = run_attack(&mut scratch, &mut adv, 60).unwrap();
+    for (step, event) in log.events.iter().enumerate() {
+        let outcome = SelfHealer::apply_event(&mut fg, event).unwrap();
+        cache.note_event(&fg.view(), event, &outcome);
+        let view = fg.view();
+        for &(u, v) in &probe_pairs(view.ghost().nodes_ever(), step as u64, 6) {
+            assert_eq!(cache.distance(&view, u, v), view.distance(u, v));
+            assert_eq!(cache.stretch(&view, u, v), view.stretch(u, v));
+        }
+    }
+    let stats = cache.stats();
+    assert!(stats.evicted > 0, "capacity 2 must evict: {stats:?}");
+    assert!(stats.dropped > 0, "churn must drop vectors: {stats:?}");
+}
