@@ -26,6 +26,7 @@
 //! 1 = report mismatch between engine and protocol, 2 = digest drift
 //! against the recorded file.
 
+use fg_bench::json::Json;
 use fg_bench::replay::{
     first_digest_drift, format_digest_file, parse_digest_file, replay_digests,
     verify_engine_vs_dist, ReplayBackend,
@@ -114,9 +115,15 @@ fn main() {
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
-    println!(
-        "{{\"trace\": \"{path}\", \"events\": {}, \"runs\": {runs}, \"best_wall_seconds\": {best}, \"events_per_sec\": {}}}",
-        sc.events.len(),
-        sc.events.len() as f64 / best
-    );
+    let line = Json::obj()
+        .field("trace", Json::str(&path))
+        .field("events", Json::Int(sc.events.len() as i64))
+        .field("runs", Json::Int(runs as i64))
+        .field("host_cpus", Json::Int(fg_bench::host_cpus() as i64))
+        .field("best_wall_seconds", Json::Float(best))
+        .field(
+            "events_per_sec",
+            Json::Float(fg_bench::rate(sc.events.len() as f64, best)),
+        );
+    println!("{}", line.compact());
 }

@@ -24,7 +24,10 @@
 //! `--queries <count>` / `--query-mix dist:80,path:10,stretch:10` /
 //! `--query-seed <u64>` / `--query-hot <k>` / `--query-cache <cap>` /
 //! `--query-naive-every <k>` (the mixed read workload),
-//! `--trace-out <path>` (dump the trace for cross-ref replays), plus the
+//! `--trace-out <path>` (dump the trace for cross-ref replays),
+//! `--wal <dir>` (run the engine backend through a [`DurableHealer`]
+//! so every event is logged-then-fsynced before acknowledgement) with
+//! `--checkpoint-every <k>` / `--wal-sync-every <k>` tuning, plus the
 //! shared `--seed` / `--scale` / `--json <path>`.
 
 use fg_bench::json::Json;
@@ -34,6 +37,7 @@ use fg_bench::{
 use fg_core::{ForgivingGraph, PlacementPolicy, SelfHealer};
 use fg_dist::DistHealer;
 use fg_metrics::{f2, Table};
+use fg_store::{DurableHealer, DurableOptions};
 
 /// One backend replay: the write-side result plus, in mixed runs, the
 /// read-side stats.
@@ -79,8 +83,14 @@ fn main() {
     let backend = args.get("backend", "engine".to_string());
     let names = args.get("workloads", "churn".to_string());
     let json_path = args.json_path().unwrap_or("BENCH_throughput.json");
-    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let host_cpus = fg_bench::host_cpus();
     let workload = args.query_workload(seed.wrapping_add(0x9e37));
+    let wal_dir = args.raw("wal").map(std::path::PathBuf::from);
+    let checkpoint_every = args.get("checkpoint-every", 0u64);
+    let wal_opts = DurableOptions {
+        checkpoint_every: (checkpoint_every > 0).then_some(checkpoint_every),
+        sync_every: args.get("wal-sync-every", 64usize).max(1),
+    };
 
     let runner = ScenarioRunner::new(batch);
     let mut table = Table::new(
@@ -136,8 +146,25 @@ fn main() {
         };
         let mut runs: Vec<(RunResult, Option<QueryStats>)> = Vec::new();
         if backend == "engine" || backend == "both" {
-            let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
-            runs.push(run_backend(&runner, &sc, &mut fg, workload.as_ref()));
+            let fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+            match &wal_dir {
+                // Durable run: every event is logged-then-fsynced before the
+                // runner sees its outcome, so the wall clock honestly prices
+                // the write barrier. One store per workload name.
+                Some(dir) => {
+                    let store = dir.join(name);
+                    let _ = std::fs::remove_dir_all(&store);
+                    let mut durable =
+                        DurableHealer::create(fg, &store, wal_opts).expect("fresh WAL store");
+                    runs.push(run_backend(&runner, &sc, &mut durable, workload.as_ref()));
+                    durable.sync().expect("final WAL sync");
+                    eprintln!("wal store for {name}: {}", store.display());
+                }
+                None => {
+                    let mut fg = fg;
+                    runs.push(run_backend(&runner, &sc, &mut fg, workload.as_ref()));
+                }
+            }
         }
         // With a sweep, the sweep's widths *are* the dist runs — a
         // standalone run at `--threads` would just duplicate one of them.
@@ -165,7 +192,7 @@ fn main() {
                         .field("events_per_sec", Json::Float(result.events_per_sec))
                         .field(
                             "speedup_vs_first",
-                            Json::Float(base / result.wall_seconds.max(1e-12)),
+                            Json::Float(fg_bench::rate(base, result.wall_seconds)),
                         ),
                 );
                 runs.push((result, queries));
@@ -228,6 +255,12 @@ fn main() {
         .field("seed", Json::Int(seed as i64))
         .field("threads", Json::Int(threads as i64))
         .field("host_cpus", Json::Int(host_cpus as i64));
+    if let Some(dir) = &wal_dir {
+        config = config
+            .field("wal", Json::str(dir.display().to_string()))
+            .field("wal_checkpoint_every", Json::Int(checkpoint_every as i64))
+            .field("wal_sync_every", Json::Int(wal_opts.sync_every as i64));
+    }
     if let Some(wl) = &workload {
         config = config
             .field("queries", Json::Int(wl.queries as i64))

@@ -60,3 +60,24 @@ pub fn engine(name: &str, n: usize, seed: u64, policy: PlacementPolicy) -> Forgi
 pub fn ceil_log2(n: usize) -> u32 {
     fg_core::api::ceil_log2(n) as u32
 }
+
+/// `numerator / denominator`, or `0.0` when the denominator is not a
+/// positive number — the one divide-by-zero guard every rate and
+/// speedup in the harness shares (`events_per_sec`, `queries_per_sec_*`,
+/// `speedup_*`, per-batch means). Centralized so no report path can emit
+/// `inf`/`NaN` into a JSON artifact when a timed region is empty or
+/// faster than the clock's resolution.
+pub fn rate(numerator: f64, denominator: f64) -> f64 {
+    if denominator > 0.0 {
+        numerator / denominator
+    } else {
+        0.0
+    }
+}
+
+/// The host's available parallelism (1 if unknown) — recorded into
+/// every benchmark JSON artifact so results can be compared across
+/// machines.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}

@@ -499,22 +499,12 @@ impl QueryStats {
 
     pub(crate) fn finish(&mut self, cache: &QueryCache) {
         self.cache = cache.stats();
-        let cached_total = self.cached_seconds + self.maintain_seconds;
-        if cached_total > 0.0 {
-            self.cached_qps = self.queries as f64 / cached_total;
-        }
-        if self.api_seconds > 0.0 {
-            self.api_qps = self.queries as f64 / self.api_seconds;
-        }
-        if self.naive_seconds > 0.0 {
-            self.naive_qps = self.naive_queries as f64 / self.naive_seconds;
-        }
-        if self.naive_qps > 0.0 {
-            self.speedup = self.cached_qps / self.naive_qps;
-        }
-        if self.api_qps > 0.0 {
-            self.speedup_vs_api = self.cached_qps / self.api_qps;
-        }
+        let queries = self.queries as f64;
+        self.cached_qps = crate::rate(queries, self.cached_seconds + self.maintain_seconds);
+        self.api_qps = crate::rate(queries, self.api_seconds);
+        self.naive_qps = crate::rate(self.naive_queries as f64, self.naive_seconds);
+        self.speedup = crate::rate(self.cached_qps, self.naive_qps);
+        self.speedup_vs_api = crate::rate(self.cached_qps, self.api_qps);
     }
 }
 

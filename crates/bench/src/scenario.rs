@@ -729,16 +729,8 @@ impl Tallies {
             deletes: scenario.deletions(),
             batch_size: runner.batch_size,
             wall_seconds: wall,
-            events_per_sec: if wall > 0.0 {
-                events as f64 / wall
-            } else {
-                0.0
-            },
-            mean_batch_ms: if batches > 0 {
-                wall * 1e3 / batches as f64
-            } else {
-                0.0
-            },
+            events_per_sec: crate::rate(events as f64, wall),
+            mean_batch_ms: crate::rate(wall * 1e3, batches as f64),
             max_batch_ms: self.max_batch_ms,
             final_nodes: healer.image().node_count(),
             final_edges: healer.image().edge_count(),
@@ -892,6 +884,94 @@ mod tests {
         let text = result.to_json().pretty();
         assert!(text.contains("\"events_per_sec\""));
         assert!(text.contains("\"scenario\": \"star\""));
+    }
+
+    #[test]
+    fn bench_json_artifacts_round_trip_through_the_parser() {
+        // The full report shape `throughput` writes: config + mixed
+        // results. Every field must survive a parse round-trip (no
+        // `inf`/`NaN` leaks, stable float forms, parseable escapes).
+        let sc = scenario("churn", 24, 80, 3);
+        let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+        let mixed = ScenarioRunner::new(16)
+            .run_mixed(&sc, &mut fg, &QueryWorkload::new(100))
+            .expect("mixed run");
+        let report = Json::obj()
+            .field("bench", Json::str("throughput"))
+            .field(
+                "config",
+                Json::obj()
+                    .field("host_cpus", Json::Int(crate::host_cpus() as i64))
+                    .field("events", Json::Int(80)),
+            )
+            .field("results", Json::Arr(vec![mixed.to_json()]));
+        let text = report.pretty();
+        let back = Json::parse(&text).expect("artifact must be parseable JSON");
+        assert_eq!(back.pretty(), text, "parse→print must be a fixpoint");
+
+        let result = match back.get("results") {
+            Some(Json::Arr(items)) => &items[0],
+            other => panic!("results array missing: {other:?}"),
+        };
+        for key in [
+            "scenario",
+            "backend",
+            "events",
+            "deletes",
+            "batch_size",
+            "wall_seconds",
+            "events_per_sec",
+            "mean_batch_ms",
+            "max_batch_ms",
+            "final_nodes",
+            "final_edges",
+            "nodes_ever",
+            "threads",
+            "edges_added",
+            "edges_dropped",
+            "helpers_created",
+            "max_churn",
+            "max_normalized_churn",
+        ] {
+            assert!(result.get(key).is_some(), "result field {key} missing");
+        }
+        // Rates render as floats even when the value is whole, so the
+        // field's JSON type is stable across runs.
+        for key in ["wall_seconds", "events_per_sec", "mean_batch_ms"] {
+            assert!(
+                matches!(result.get(key), Some(Json::Float(f)) if f.is_finite()),
+                "{key} must parse back as a finite float"
+            );
+        }
+        let queries = result.get("queries").expect("queries sub-object");
+        for key in [
+            "queries",
+            "mix",
+            "seed",
+            "hot",
+            "cache_capacity",
+            "by_kind",
+            "unanswered",
+            "naive_queries",
+            "mismatches",
+            "cached_seconds",
+            "maintain_seconds",
+            "api_seconds",
+            "naive_seconds",
+            "queries_per_sec_cached",
+            "queries_per_sec_api",
+            "queries_per_sec_naive",
+            "speedup_vs_naive",
+            "speedup_vs_api",
+            "cache_hits",
+            "cache_misses",
+            "cache_repaired",
+            "cache_dropped",
+            "cache_evicted",
+            "cache_flushes",
+        ] {
+            assert!(queries.get(key).is_some(), "queries field {key} missing");
+        }
     }
 
     #[test]

@@ -210,6 +210,22 @@ impl Forest {
         self.live -= 1;
     }
 
+    /// Rebuilds a forest from its living `(key, node)` pairs — the
+    /// snapshot-restore path. The pairs must describe a structurally
+    /// valid forest (links included); callers are expected to run
+    /// [`Forest::validate`] on the result before trusting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key appears twice.
+    pub(crate) fn from_pairs(pairs: impl IntoIterator<Item = (VKey, VNode)>) -> Self {
+        let mut forest = Forest::new();
+        for (key, node) in pairs {
+            forest.alloc(key, node);
+        }
+        forest
+    }
+
     /// Creates an isolated leaf for `slot`.
     ///
     /// # Panics

@@ -49,6 +49,7 @@ mod merge;
 pub mod plan;
 pub mod query;
 mod slot;
+mod snapshot;
 mod stats;
 pub mod view;
 

@@ -347,10 +347,23 @@ pub struct QueryCache {
 
 impl QueryCache {
     /// A cache holding up to `capacity` distance vectors per graph side
-    /// (clamped to ≥ 1; least-recently-used eviction).
+    /// (least-recently-used eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero. A zero-capacity cache cannot hold
+    /// even the vector it just computed, so every lookup would silently
+    /// degrade to a full BFS while still reporting cache statistics;
+    /// callers that want no caching should use the uncached
+    /// [`QueryOps`] API instead of constructing a cache.
     pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "QueryCache capacity must be at least 1: a zero-capacity cache cannot \
+             hold any landmark vector (use the uncached QueryOps API instead)"
+        );
         QueryCache {
-            capacity: capacity.max(1),
+            capacity,
             synced: None,
             image: VectorStore::default(),
             ghost: VectorStore::default(),
@@ -774,5 +787,46 @@ mod tests {
         }
         assert!(cache.len() <= 2);
         assert!(cache.stats().evicted >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = QueryCache::new(0);
+    }
+
+    #[test]
+    fn eviction_accounting_is_exact_at_the_capacity_boundary() {
+        // Distinct sources on a cycle, so every query sources a new
+        // vector and the store crosses the capacity boundary repeatedly.
+        let fg = ForgivingGraph::from_graph(&generators::cycle(12)).unwrap();
+        let view = fg.view();
+        for capacity in [1usize, 2, 3] {
+            let mut cache = QueryCache::new(capacity);
+            let sources = 6u32;
+            for s in 0..sources {
+                let _ = cache.distance(&view, n(s), n((s + 6) % 12));
+                assert!(
+                    cache.len() <= capacity,
+                    "capacity {capacity}: {} vectors after {s}",
+                    cache.len()
+                );
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.misses, u64::from(sources), "capacity {capacity}");
+            // Each overflow evicts exactly one vector (the store holds at
+            // most `capacity`, so `len + 1 - capacity` is always 1).
+            assert_eq!(
+                stats.evicted,
+                u64::from(sources) - capacity as u64,
+                "capacity {capacity}"
+            );
+            assert_eq!(cache.len(), capacity);
+            // A repeat of the most recent source hits without evicting.
+            let evicted_before = stats.evicted;
+            let _ = cache.distance(&view, n(sources - 1), n(0));
+            assert_eq!(cache.stats().hits, 1);
+            assert_eq!(cache.stats().evicted, evicted_before);
+        }
     }
 }

@@ -1,0 +1,173 @@
+//! Byte-level primitives shared by the WAL and the snapshot store: the
+//! CRC-32 record checksum, the FNV-1a content hash that names snapshot
+//! files, and the [`NetworkEvent`] wire form.
+//!
+//! Both hashes are spelled out by hand for the same reason as
+//! [`fg_core::ReportDigest`]: a checked-in artifact (a WAL, a snapshot
+//! name) must only ever change when *behaviour* changes, never because a
+//! hasher implementation or seed did.
+
+use fg_core::NetworkEvent;
+use fg_graph::NodeId;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) checksum of `bytes` — the per-record integrity
+/// check of the WAL.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The 64-bit FNV-1a hash of `bytes` — the content hash that names
+/// snapshot files (`snap-<hash:016x>.bin`). Same constants as
+/// [`fg_core::ReportDigest`], folded over raw bytes.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Event wire tags.
+const TAG_INSERT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+
+/// Appends the wire form of `event` to `out`: a tag byte, then the
+/// little-endian node ids (inserts carry a count first).
+pub(crate) fn encode_event(out: &mut Vec<u8>, event: &NetworkEvent) {
+    match event {
+        NetworkEvent::Insert { neighbors } => {
+            out.push(TAG_INSERT);
+            out.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
+            for x in neighbors {
+                out.extend_from_slice(&x.raw().to_le_bytes());
+            }
+        }
+        NetworkEvent::Delete { node } => {
+            out.push(TAG_DELETE);
+            out.extend_from_slice(&node.raw().to_le_bytes());
+        }
+    }
+}
+
+/// A bounds-checked little-endian reader.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format!("truncated at byte {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Decodes one event from `cur` (the inverse of [`encode_event`]).
+pub(crate) fn decode_event(cur: &mut Cursor<'_>) -> Result<NetworkEvent, String> {
+    match cur.u8()? {
+        TAG_INSERT => {
+            let count = cur.u32()? as usize;
+            let mut neighbors = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                neighbors.push(NodeId::new(cur.u32()?));
+            }
+            Ok(NetworkEvent::insert(neighbors))
+        }
+        TAG_DELETE => Ok(NetworkEvent::delete(NodeId::new(cur.u32()?))),
+        tag => Err(format!("unknown event tag {tag}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv64_matches_report_digest_fold() {
+        // Folding eight bytes here must agree with ReportDigest::word.
+        let word = 0x0123_4567_89ab_cdefu64;
+        let via_digest = fg_core::ReportDigest::new().word(word).value();
+        assert_eq!(fnv64(&word.to_le_bytes()), via_digest);
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let events = [
+            NetworkEvent::insert([NodeId::new(3), NodeId::new(9), NodeId::new(0)]),
+            NetworkEvent::delete(NodeId::new(41)),
+        ];
+        for event in &events {
+            let mut buf = Vec::new();
+            encode_event(&mut buf, event);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(&decode_event(&mut cur).unwrap(), event);
+            assert!(cur.is_done());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut cur = Cursor::new(&[7u8]);
+        assert!(decode_event(&mut cur).unwrap_err().contains("tag"));
+    }
+}

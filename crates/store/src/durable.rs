@@ -1,0 +1,502 @@
+//! [`DurableHealer`]: crash-safe persistence for any [`Persistable`]
+//! self-healer, with digest-certified recovery.
+//!
+//! ## Write path
+//!
+//! Every applied event is appended to the live WAL segment as a record
+//! carrying `(seq, digest, event)` — the engine's epoch after the event
+//! and the structural digest of its outcome. The digest is only known
+//! *after* applying (it is a property of what the repair did), so the
+//! order is apply → log → group-commit fsync → acknowledge: an operation
+//! whose call has returned under `sync_every = 1` (or any completed
+//! [`DurableHealer::sync`]/batch) is durable, and state is memory-only
+//! until recovery, so logging after applying loses nothing a crash
+//! would not lose anyway.
+//!
+//! ## Recovery
+//!
+//! [`DurableHealer::open`] = load the manifest's snapshot (content-hash
+//! verified), then replay the committed WAL suffix, recomputing each
+//! event's digest and comparing it to the logged one. Any disagreement
+//! is typed ([`crate::RecoveryError`]) and fatal — recovery never serves
+//! a state it cannot certify byte-for-byte against the acknowledged
+//! history. Torn tails are truncated; damage *inside* committed history
+//! (valid records beyond a bad checksum) is refused.
+//!
+//! ## Checkpoints
+//!
+//! Every `checkpoint_every` events (or on demand) the full engine state
+//! is written as a content-addressed snapshot, the manifest is atomically
+//! repointed, and the WAL rotates to a fresh segment — bounding both
+//! recovery time and the truncation rule's blast radius (a segment never
+//! contains pre-checkpoint records, so tail truncation cannot cross a
+//! checkpoint).
+
+use crate::error::{RecoveryError, StoreError};
+use crate::snapstore::{
+    load_snapshot, read_manifest, sweep_unreferenced, wal_path, write_manifest, write_snapshot,
+    Manifest,
+};
+use crate::wal::{scan_wal, WalRecord, WalWriter, FLAG_COMMIT};
+use fg_core::{
+    BatchReport, EngineError, ForgivingGraph, HealerObserver, InsertReport, NetworkEvent,
+    RepairReport, SelfHealer,
+};
+use fg_graph::{Graph, NodeId};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A self-healer whose full state can round-trip through bytes — what
+/// the store needs to checkpoint and recover it.
+///
+/// The contract is behavioural, not just structural: a restored healer
+/// must replay any event sequence to the *same outcomes* (digests
+/// included) as the original would have.
+pub trait Persistable: SelfHealer + Sized {
+    /// Serializes the healer's complete logical state deterministically
+    /// (equal states must yield equal bytes — snapshots are named by
+    /// content hash).
+    fn snapshot_bytes(&self) -> Vec<u8>;
+
+    /// Rebuilds a healer from [`Persistable::snapshot_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of why the bytes are not a valid
+    /// state.
+    fn restore(bytes: &[u8]) -> Result<Self, String>;
+}
+
+impl Persistable for ForgivingGraph {
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        ForgivingGraph::snapshot_bytes(self)
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, String> {
+        ForgivingGraph::from_snapshot_bytes(bytes)
+    }
+}
+
+/// Tuning knobs for a [`DurableHealer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Checkpoint (snapshot + WAL rotation) after this many events;
+    /// `None` never checkpoints automatically.
+    pub checkpoint_every: Option<u64>,
+    /// Group-commit width: fsync after this many single-event appends.
+    /// `1` makes every acknowledged event durable; larger values trade
+    /// the tail of a crash for throughput. Batches always fsync once at
+    /// the end regardless.
+    pub sync_every: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            checkpoint_every: None,
+            sync_every: 64,
+        }
+    }
+}
+
+/// What a recovery did — the numbers the `recover_trace` bench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_seq: u64,
+    /// Content hash of that snapshot.
+    pub snapshot_hash: u64,
+    /// Committed WAL records replayed (each digest-verified).
+    pub replayed: usize,
+    /// Well-formed records dropped because no commit record followed
+    /// them (a batch that crashed before its commit mark).
+    pub dropped_uncommitted: usize,
+    /// Bytes cut from the segment tail (uncommitted records + torn
+    /// garbage).
+    pub truncated_bytes: u64,
+    /// Whether unparseable tail bytes were present.
+    pub torn_tail: bool,
+    /// The recovered engine's epoch.
+    pub epoch: u64,
+}
+
+/// A write-ahead-logged wrapper: durability for any [`Persistable`]
+/// healer behind the plain [`SelfHealer`] façade.
+///
+/// # Panics
+///
+/// The [`SelfHealer`] surface has no I/O error channel, so a *write*
+/// failure of the log or an automatic checkpoint panics: continuing
+/// would acknowledge events that were never made durable, which is the
+/// one lie a durability layer must not tell. Recovery and explicit
+/// maintenance ([`DurableHealer::open`], [`DurableHealer::checkpoint`],
+/// [`DurableHealer::sync`]) return typed [`StoreError`]s instead.
+///
+/// # Examples
+///
+/// ```
+/// use fg_core::{ForgivingGraph, SelfHealer};
+/// use fg_graph::{generators, NodeId};
+/// use fg_store::{DurableHealer, DurableOptions};
+///
+/// let dir = std::env::temp_dir().join(format!("fg-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let engine = ForgivingGraph::from_graph(&generators::star(6))?;
+/// let mut durable = DurableHealer::create(engine, &dir, DurableOptions::default())?;
+/// let _ = durable.delete(NodeId::new(0))?;
+/// durable.sync()?;
+/// drop(durable);
+///
+/// let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&dir, DurableOptions::default())?;
+/// assert_eq!(report.replayed, 1);
+/// assert!(!recovered.is_alive(NodeId::new(0)));
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DurableHealer<H: Persistable> {
+    inner: H,
+    dir: PathBuf,
+    wal: WalWriter,
+    opts: DurableOptions,
+    snapshot_seq: u64,
+    since_checkpoint: u64,
+}
+
+impl<H: Persistable> DurableHealer<H> {
+    /// Adopts `inner` into a fresh store directory: writes the initial
+    /// checkpoint (so even an empty-WAL store recovers), the manifest,
+    /// and an empty WAL segment.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or `AlreadyExists` if `dir` already holds a store.
+    pub fn create(inner: H, dir: &Path, opts: DurableOptions) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        if crate::snapstore::manifest_path(dir).exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} already holds a store; use open()", dir.display()),
+            )
+            .into());
+        }
+        let seq = inner.epoch();
+        let hash = write_snapshot(dir, &inner.snapshot_bytes())?;
+        let wal = WalWriter::create(&wal_path(dir, seq), opts.sync_every)?;
+        write_manifest(dir, Manifest { hash, seq })?;
+        Ok(DurableHealer {
+            inner,
+            dir: dir.to_path_buf(),
+            wal,
+            opts,
+            snapshot_seq: seq,
+            since_checkpoint: 0,
+        })
+    }
+
+    /// Recovers a store directory: snapshot + digest-verified replay of
+    /// the committed WAL suffix, truncating any torn/uncommitted tail.
+    ///
+    /// # Errors
+    ///
+    /// * I/O failures ([`StoreError::Io`]);
+    /// * framing damage that is not a tail ([`StoreError::Corrupt`],
+    ///   [`RecoveryError::CorruptCommitted`]);
+    /// * certification failures — hash, sequence, or digest disagreement
+    ///   (the [`RecoveryError`] variants). Callers must treat every
+    ///   error as "do not serve this state" and exit nonzero.
+    pub fn open(dir: &Path, opts: DurableOptions) -> Result<(Self, RecoveryReport), StoreError> {
+        let manifest = read_manifest(dir)?;
+        let bytes = load_snapshot(dir, manifest)?;
+        let mut inner = H::restore(&bytes).map_err(|detail| RecoveryError::SnapshotDecode {
+            path: crate::snapstore::snapshot_path(dir, manifest.hash),
+            detail,
+        })?;
+        if inner.epoch() != manifest.seq {
+            return Err(RecoveryError::SnapshotDecode {
+                path: crate::snapstore::snapshot_path(dir, manifest.hash),
+                detail: format!(
+                    "snapshot decodes to epoch {} but manifest committed {}",
+                    inner.epoch(),
+                    manifest.seq
+                ),
+            }
+            .into());
+        }
+
+        let segment = wal_path(dir, manifest.seq);
+        let scan = scan_wal(&segment)?;
+        if let Some(resync_offset) = scan.resync_offset {
+            return Err(RecoveryError::CorruptCommitted {
+                path: segment,
+                bad_offset: scan.valid_len,
+                resync_offset,
+            }
+            .into());
+        }
+
+        for record in &scan.records[..scan.committed] {
+            let expected = inner.epoch() + 1;
+            if record.seq != expected {
+                return Err(RecoveryError::SequenceGap {
+                    expected,
+                    found: record.seq,
+                }
+                .into());
+            }
+            let outcome =
+                inner
+                    .apply_event(&record.event)
+                    .map_err(|error| RecoveryError::Replay {
+                        seq: record.seq,
+                        error,
+                    })?;
+            let replayed = outcome.digest();
+            if replayed != record.digest {
+                return Err(RecoveryError::DigestMismatch {
+                    seq: record.seq,
+                    logged: record.digest,
+                    replayed,
+                }
+                .into());
+            }
+        }
+
+        let file_len = std::fs::metadata(&segment)?.len();
+        let wal = WalWriter::open_at(&segment, scan.committed_len, opts.sync_every)?;
+        let report = RecoveryReport {
+            snapshot_seq: manifest.seq,
+            snapshot_hash: manifest.hash,
+            replayed: scan.committed,
+            dropped_uncommitted: scan.records.len() - scan.committed,
+            truncated_bytes: file_len - scan.committed_len,
+            torn_tail: scan.torn,
+            epoch: inner.epoch(),
+        };
+        Ok((
+            DurableHealer {
+                inner,
+                dir: dir.to_path_buf(),
+                wal,
+                opts,
+                snapshot_seq: manifest.seq,
+                since_checkpoint: scan.committed as u64,
+            },
+            report,
+        ))
+    }
+
+    /// The wrapped healer.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Unwraps the healer, abandoning the log (a final
+    /// [`DurableHealer::sync`] runs on drop of the writer).
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Epoch of the checkpoint the live segment follows.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    /// Forces staged records to disk with an fsync.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()
+    }
+
+    /// Takes a checkpoint now: snapshot the engine, atomically repoint
+    /// the manifest, rotate the WAL, and sweep superseded files. A no-op
+    /// if no event has been applied since the last checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; the store stays on the previous checkpoint.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()?;
+        let seq = self.inner.epoch();
+        if seq == self.snapshot_seq {
+            return Ok(());
+        }
+        let hash = write_snapshot(&self.dir, &self.inner.snapshot_bytes())?;
+        let fresh = WalWriter::create(&wal_path(&self.dir, seq), self.opts.sync_every)?;
+        write_manifest(&self.dir, Manifest { hash, seq })?;
+        self.wal = fresh;
+        self.snapshot_seq = seq;
+        self.since_checkpoint = 0;
+        sweep_unreferenced(&self.dir, Manifest { hash, seq });
+        Ok(())
+    }
+
+    /// Appends one just-applied event (single-op path: commit record,
+    /// group-commit fsync policy).
+    fn log_one(&mut self, event: NetworkEvent, digest: u64) {
+        self.wal.stage(&WalRecord {
+            seq: self.inner.epoch(),
+            flags: FLAG_COMMIT,
+            digest,
+            event,
+        });
+        self.wal.commit().unwrap_or_else(Self::die);
+        self.since_checkpoint += 1;
+        self.auto_checkpoint();
+    }
+
+    /// Appends a batch's records atomically: commit flag on the last
+    /// record, one write, one fsync (the batch's acknowledgement point).
+    fn log_batch(&mut self, mut records: Vec<WalRecord>) {
+        let Some(last) = records.last_mut() else {
+            return;
+        };
+        last.flags |= FLAG_COMMIT;
+        let n = records.len() as u64;
+        for record in &records {
+            self.wal.stage(record);
+        }
+        self.wal.sync().unwrap_or_else(Self::die);
+        self.since_checkpoint += n;
+    }
+
+    fn auto_checkpoint(&mut self) {
+        if let Some(every) = self.opts.checkpoint_every {
+            if self.since_checkpoint >= every {
+                self.checkpoint().unwrap_or_else(Self::die);
+            }
+        }
+    }
+
+    fn die<T>(err: StoreError) -> T {
+        panic!("durability write failed — refusing to acknowledge un-logged events: {err}");
+    }
+
+    fn batch_record(&self, event: &NetworkEvent, digest: u64) -> WalRecord {
+        WalRecord {
+            seq: self.inner.epoch(),
+            flags: 0,
+            digest,
+            event: event.clone(),
+        }
+    }
+}
+
+impl<H: Persistable> SelfHealer for DurableHealer<H> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn insert(&mut self, neighbors: &[NodeId]) -> Result<InsertReport, EngineError> {
+        let report = self.inner.insert(neighbors)?;
+        self.log_one(
+            NetworkEvent::insert(neighbors.iter().copied()),
+            report.digest(),
+        );
+        Ok(report)
+    }
+
+    fn delete(&mut self, v: NodeId) -> Result<RepairReport, EngineError> {
+        let report = self.inner.delete(v)?;
+        self.log_one(NetworkEvent::delete(v), report.digest());
+        Ok(report)
+    }
+
+    fn insert_observed(
+        &mut self,
+        neighbors: &[NodeId],
+        obs: &mut dyn HealerObserver,
+    ) -> Result<InsertReport, EngineError> {
+        let report = self.inner.insert_observed(neighbors, obs)?;
+        self.log_one(
+            NetworkEvent::insert(neighbors.iter().copied()),
+            report.digest(),
+        );
+        Ok(report)
+    }
+
+    fn delete_observed(
+        &mut self,
+        v: NodeId,
+        obs: &mut dyn HealerObserver,
+    ) -> Result<RepairReport, EngineError> {
+        let report = self.inner.delete_observed(v, obs)?;
+        self.log_one(NetworkEvent::delete(v), report.digest());
+        Ok(report)
+    }
+
+    fn image(&self) -> &Graph {
+        self.inner.image()
+    }
+
+    fn ghost(&self) -> &Graph {
+        self.inner.ghost()
+    }
+
+    fn is_alive(&self, v: NodeId) -> bool {
+        self.inner.is_alive(v)
+    }
+
+    fn apply_batch(&mut self, events: &[NetworkEvent]) -> Result<BatchReport, EngineError> {
+        let mut batch = BatchReport::new();
+        let mut records = Vec::with_capacity(events.len());
+        for (index, event) in events.iter().enumerate() {
+            match self.inner.apply_event(event) {
+                Ok(outcome) => {
+                    records.push(self.batch_record(event, outcome.digest()));
+                    batch.push(outcome);
+                }
+                Err(source) => {
+                    // "Earlier events stay applied" — so the applied
+                    // prefix must also be durable before we report.
+                    self.log_batch(records);
+                    return Err(EngineError::AtEvent {
+                        index,
+                        event: event.to_string(),
+                        source: Box::new(source),
+                    });
+                }
+            }
+        }
+        self.log_batch(records);
+        self.auto_checkpoint();
+        Ok(batch)
+    }
+
+    fn apply_batch_observed(
+        &mut self,
+        events: &[NetworkEvent],
+        obs: &mut dyn HealerObserver,
+    ) -> Result<BatchReport, EngineError> {
+        let mut batch = BatchReport::new();
+        let mut records = Vec::with_capacity(events.len());
+        for (index, event) in events.iter().enumerate() {
+            match self.inner.apply_event_observed(event, obs) {
+                Ok(outcome) => {
+                    records.push(self.batch_record(event, outcome.digest()));
+                    batch.push(outcome);
+                }
+                Err(source) => {
+                    self.log_batch(records);
+                    return Err(EngineError::AtEvent {
+                        index,
+                        event: event.to_string(),
+                        source: Box::new(source),
+                    });
+                }
+            }
+        }
+        self.log_batch(records);
+        self.auto_checkpoint();
+        obs.on_batch_end(&batch);
+        Ok(batch)
+    }
+}

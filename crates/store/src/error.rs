@@ -1,0 +1,238 @@
+//! Typed failures of the durability layer.
+//!
+//! The split mirrors the two trust domains: [`StoreError`] covers the
+//! storage machinery itself (I/O, framing), while [`RecoveryError`]
+//! enumerates the ways a recovery can *prove* that the on-disk state and
+//! the replayed engine disagree — the digest-certification failures that
+//! must abort with a nonzero exit instead of silently serving drifted
+//! state.
+
+use fg_core::EngineError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Any failure of the WAL / snapshot / recovery machinery.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// A framing violation in a region that recovery cannot classify as
+    /// a torn tail (e.g. a record that passes CRC but fails to decode —
+    /// a writer bug or version skew, never crash damage).
+    Corrupt {
+        /// The file holding the bad bytes.
+        path: PathBuf,
+        /// Byte offset of the offending record header.
+        offset: u64,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// Recovery proved the durable state inconsistent (see
+    /// [`RecoveryError`]).
+    Recovery(RecoveryError),
+}
+
+/// The ways digest-certified recovery can fail.
+///
+/// Every variant means "do not trust this store": the caller is expected
+/// to surface the error and exit nonzero, never to continue on a
+/// best-guess state.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// The store directory has no manifest — nothing was ever committed
+    /// here (or the directory is not a store).
+    MissingManifest(PathBuf),
+    /// The manifest exists but does not parse.
+    BadManifest {
+        /// The manifest file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The snapshot's bytes no longer hash to the name the manifest
+    /// committed — bit rot in the checkpoint itself.
+    SnapshotHashMismatch {
+        /// The snapshot file.
+        path: PathBuf,
+        /// The content hash the manifest recorded.
+        expected: u64,
+        /// The hash the bytes actually have.
+        actual: u64,
+    },
+    /// The snapshot hashed correctly but does not decode to a valid
+    /// engine state (format-version skew or a writer bug).
+    SnapshotDecode {
+        /// The snapshot file.
+        path: PathBuf,
+        /// The decoder's diagnosis.
+        detail: String,
+    },
+    /// A CRC failure *inside* the committed log: well-formed records
+    /// exist beyond the bad region, so this is mid-file corruption of
+    /// acknowledged history, not a torn tail — truncating would silently
+    /// drop durable events.
+    CorruptCommitted {
+        /// The WAL segment.
+        path: PathBuf,
+        /// Offset of the first record that failed its checksum.
+        bad_offset: u64,
+        /// Offset of a later record that still parses — the proof that
+        /// the damage is not a tail.
+        resync_offset: u64,
+    },
+    /// Replay met a record whose sequence number does not continue the
+    /// engine's epoch — records are missing or reordered.
+    SequenceGap {
+        /// The epoch the next record had to carry.
+        expected: u64,
+        /// The sequence number it actually carried.
+        found: u64,
+    },
+    /// The replayed event produced a different structural digest than
+    /// the one logged when the event was first applied — the recovered
+    /// state has drifted from the acknowledged history.
+    DigestMismatch {
+        /// The event's sequence number (= engine epoch after applying).
+        seq: u64,
+        /// The digest recorded in the WAL at commit time.
+        logged: u64,
+        /// The digest the replay produced now.
+        replayed: u64,
+    },
+    /// The engine rejected a logged event outright during replay — the
+    /// snapshot and the log suffix cannot belong to the same history.
+    Replay {
+        /// The failing record's sequence number.
+        seq: u64,
+        /// The engine's error.
+        error: EngineError,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt record in {} at byte {offset}: {detail}",
+                path.display()
+            ),
+            StoreError::Recovery(e) => write!(f, "recovery failed: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::MissingManifest(dir) => {
+                write!(f, "no manifest in {}: not a committed store", dir.display())
+            }
+            RecoveryError::BadManifest { path, detail } => {
+                write!(f, "unreadable manifest {}: {detail}", path.display())
+            }
+            RecoveryError::SnapshotHashMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot {} hashes to {actual:016x}, manifest committed {expected:016x}",
+                path.display()
+            ),
+            RecoveryError::SnapshotDecode { path, detail } => {
+                write!(f, "snapshot {} does not decode: {detail}", path.display())
+            }
+            RecoveryError::CorruptCommitted {
+                path,
+                bad_offset,
+                resync_offset,
+            } => write!(
+                f,
+                "{}: checksum failure at byte {bad_offset} with valid records at byte \
+                 {resync_offset} — committed history is damaged, refusing to truncate",
+                path.display()
+            ),
+            RecoveryError::SequenceGap { expected, found } => {
+                write!(f, "log skips from epoch {expected} to {found}")
+            }
+            RecoveryError::DigestMismatch {
+                seq,
+                logged,
+                replayed,
+            } => write!(
+                f,
+                "event #{seq} replayed to digest {replayed:016x} but {logged:016x} was logged — \
+                 recovered state drifted from acknowledged history"
+            ),
+            RecoveryError::Replay { seq, error } => {
+                write!(f, "event #{seq} no longer applies during replay: {error}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Recovery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecoveryError::Replay { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<RecoveryError> for StoreError {
+    fn from(e: RecoveryError) -> Self {
+        StoreError::Recovery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        let e = StoreError::from(RecoveryError::DigestMismatch {
+            seq: 7,
+            logged: 0xab,
+            replayed: 0xcd,
+        });
+        let msg = e.to_string();
+        assert!(msg.contains("event #7"), "{msg}");
+        assert!(msg.contains("00000000000000ab"), "{msg}");
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<StoreError>();
+        check::<RecoveryError>();
+    }
+}

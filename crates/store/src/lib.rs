@@ -1,0 +1,36 @@
+//! `fg-store`: crash-safe durability for the Forgiving Graph.
+//!
+//! Three layers:
+//!
+//! * **WAL** ([`wal`]) — an append-only segment of checksummed,
+//!   length-prefixed records, each carrying a [`fg_core::NetworkEvent`]
+//!   plus the structural digest its application produced. The reader
+//!   tolerates torn tails (truncate at the first bad checksum) but
+//!   refuses damage inside committed history.
+//! * **Snapshots** ([`snapstore`]) — content-addressed checkpoints of
+//!   the full `(image, ghost, forest)` triple, committed by an atomic
+//!   manifest rename. The WAL rotates to a fresh segment at every
+//!   checkpoint, so tail truncation structurally cannot cross one.
+//! * **[`DurableHealer`]** ([`durable`]) — wraps any [`Persistable`]
+//!   self-healer: apply → log → group-commit fsync on the write path,
+//!   and digest-certified recovery on [`DurableHealer::open`] — replay
+//!   must reproduce every logged digest or fail with a typed
+//!   [`RecoveryError`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod durable;
+pub mod error;
+pub mod snapstore;
+pub mod wal;
+
+pub use codec::{crc32, fnv64};
+pub use durable::{DurableHealer, DurableOptions, Persistable, RecoveryReport};
+pub use error::{RecoveryError, StoreError};
+pub use snapstore::{
+    load_snapshot, manifest_path, read_manifest, snapshot_path, wal_path, write_manifest,
+    write_snapshot, Manifest,
+};
+pub use wal::{scan_wal, WalRecord, WalScan, WalWriter, FLAG_COMMIT};

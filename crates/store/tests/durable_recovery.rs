@@ -1,0 +1,396 @@
+//! End-to-end crash/recovery tests for [`DurableHealer`]: truncation at
+//! every byte offset, bit flips, mid-batch crashes, digest drift, and
+//! checkpoint rotation — each recovery certified byte-for-byte against a
+//! reference engine via the deterministic snapshot encoding.
+
+use fg_core::{EngineError, ForgivingGraph, NetworkEvent, PlacementPolicy, SelfHealer};
+use fg_dist::DistHealer;
+use fg_graph::{generators, NodeId};
+use fg_store::{
+    wal_path, DurableHealer, DurableOptions, RecoveryError, StoreError, WalRecord, FLAG_COMMIT,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fg-durable-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seed_engine() -> ForgivingGraph {
+    ForgivingGraph::from_graph(&generators::barabasi_albert(24, 2, 11)).unwrap()
+}
+
+/// A deterministic adversarial script, validated against a scratch
+/// replica so every event is applicable in sequence.
+fn script(events: usize, mut seed: u64) -> Vec<NetworkEvent> {
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let mut scratch = seed_engine();
+    let mut out = Vec::with_capacity(events);
+    while out.len() < events {
+        let alive: Vec<NodeId> = (0..4096)
+            .map(NodeId::new)
+            .filter(|&v| scratch.is_alive(v))
+            .collect();
+        let event = if alive.len() > 4 && rng() % 3 == 0 {
+            NetworkEvent::delete(alive[(rng() % alive.len() as u64) as usize])
+        } else {
+            let want = 1 + (rng() % 3) as usize;
+            let mut neighbors: Vec<NodeId> = Vec::new();
+            let mut at = (rng() % alive.len() as u64) as usize;
+            while neighbors.len() < want.min(alive.len()) {
+                let v = alive[at % alive.len()];
+                if !neighbors.contains(&v) {
+                    neighbors.push(v);
+                }
+                at += 1 + (rng() % 5) as usize;
+            }
+            NetworkEvent::insert(neighbors)
+        };
+        let _ = scratch.apply_event(&event).unwrap();
+        out.push(event);
+    }
+    out
+}
+
+/// Snapshot bytes of the reference engine after each event prefix:
+/// `prefixes[k]` is the certified state after `k` events.
+fn prefix_states(events: &[NetworkEvent]) -> Vec<Vec<u8>> {
+    let mut engine = seed_engine();
+    let mut out = vec![engine.snapshot_bytes()];
+    for event in events {
+        let _ = engine.apply_event(event).unwrap();
+        out.push(engine.snapshot_bytes());
+    }
+    out
+}
+
+/// Builds a store, applies `events` with per-event fsync, and returns
+/// the directory (writer dropped — simulating a process exit).
+fn populated_store(name: &str, events: &[NetworkEvent], opts: DurableOptions) -> PathBuf {
+    let dir = temp_dir(name);
+    let mut durable = DurableHealer::create(seed_engine(), &dir, opts).unwrap();
+    for event in events {
+        let _ = durable.apply_event(event).unwrap();
+    }
+    durable.sync().unwrap();
+    dir
+}
+
+/// Copies a store directory, truncating the WAL segment to `wal_len`.
+fn clone_store(src: &Path, dst: &Path, wal_len: usize) {
+    let _ = fs::remove_dir_all(dst);
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap().flatten() {
+        let name = entry.file_name();
+        let mut bytes = fs::read(entry.path()).unwrap();
+        if name.to_str().unwrap().starts_with("wal-") {
+            bytes.truncate(wal_len);
+        }
+        fs::write(dst.join(name), bytes).unwrap();
+    }
+}
+
+fn live_wal(dir: &Path) -> PathBuf {
+    let seq = fg_store::read_manifest(dir).unwrap().seq;
+    wal_path(dir, seq)
+}
+
+fn opts(sync_every: usize) -> DurableOptions {
+    DurableOptions {
+        checkpoint_every: None,
+        sync_every,
+    }
+}
+
+#[test]
+fn clean_shutdown_recovers_exact_state() {
+    let events = script(30, 0x5eed_0001);
+    let states = prefix_states(&events);
+    let dir = populated_store("clean", &events, opts(1));
+
+    let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&dir, opts(1)).unwrap();
+    assert_eq!(report.replayed, 30);
+    assert_eq!(report.dropped_uncommitted, 0);
+    assert_eq!(report.truncated_bytes, 0);
+    assert!(!report.torn_tail);
+    assert_eq!(report.epoch, report.snapshot_seq + 30);
+    assert_eq!(recovered.inner().snapshot_bytes(), states[30]);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_with_empty_wal_suffix_recovers() {
+    let events = script(12, 0x5eed_0002);
+    let states = prefix_states(&events);
+    let dir = temp_dir("ckpt-empty");
+    let mut durable = DurableHealer::create(seed_engine(), &dir, opts(1)).unwrap();
+    for event in &events {
+        let _ = durable.apply_event(event).unwrap();
+    }
+    durable.checkpoint().unwrap();
+    let snapshot_seq = durable.snapshot_seq();
+    drop(durable);
+
+    let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&dir, opts(1)).unwrap();
+    assert_eq!(report.snapshot_seq, snapshot_seq);
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.truncated_bytes, 0);
+    assert_eq!(recovered.inner().snapshot_bytes(), states[12]);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn auto_checkpoint_rotates_and_bounds_replay() {
+    let events = script(20, 0x5eed_0003);
+    let states = prefix_states(&events);
+    let auto = DurableOptions {
+        checkpoint_every: Some(8),
+        sync_every: 1,
+    };
+    let dir = temp_dir("auto-ckpt");
+    let base_epoch = {
+        let mut durable = DurableHealer::create(seed_engine(), &dir, auto).unwrap();
+        let base = durable.snapshot_seq();
+        for event in &events {
+            let _ = durable.apply_event(event).unwrap();
+        }
+        // Checkpoints fired after events 8 and 16.
+        assert_eq!(durable.snapshot_seq(), base + 16);
+        base
+    };
+
+    // Rotation swept superseded segments: only the live one remains.
+    let wals: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_str().unwrap().starts_with("wal-"))
+        .collect();
+    assert_eq!(wals.len(), 1, "superseded segments must be swept");
+
+    let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&dir, auto).unwrap();
+    assert_eq!(report.snapshot_seq, base_epoch + 16);
+    assert_eq!(report.replayed, 4);
+    assert_eq!(recovered.inner().snapshot_bytes(), states[20]);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_at_every_byte_recovers_a_certified_prefix() {
+    let events = script(12, 0x5eed_0004);
+    let states = prefix_states(&events);
+    let dir = populated_store("trunc-base", &events, opts(1));
+    let wal_bytes = fs::read(live_wal(&dir)).unwrap();
+    let scratch = temp_dir("trunc-case");
+
+    for cut in 0..=wal_bytes.len() {
+        clone_store(&dir, &scratch, cut);
+        let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&scratch, opts(1))
+            .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got {e}"));
+        assert!(report.replayed <= events.len());
+        assert_eq!(report.epoch, report.snapshot_seq + report.replayed as u64);
+        assert_eq!(
+            recovered.inner().snapshot_bytes(),
+            states[report.replayed],
+            "cut at byte {cut} recovered a state that is not the {}-event prefix",
+            report.replayed
+        );
+        // Recovery truncated the torn tail: a second open is clean.
+        drop(recovered);
+        let (_, second) = DurableHealer::<ForgivingGraph>::open(&scratch, opts(1)).unwrap();
+        assert_eq!(second.replayed, report.replayed);
+        assert!(!second.torn_tail);
+        assert_eq!(second.truncated_bytes, 0);
+    }
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn bit_flip_in_tail_truncates_but_mid_file_refuses() {
+    let events = script(12, 0x5eed_0005);
+    let states = prefix_states(&events);
+    let dir = populated_store("flip-base", &events, opts(1));
+    let wal = live_wal(&dir);
+    let clean = fs::read(&wal).unwrap();
+
+    // Flip a bit inside the FINAL record's payload: nothing valid
+    // follows, so this is indistinguishable from a torn tail and must
+    // truncate to the 11-event prefix.
+    let mut flipped = clean.clone();
+    let last = flipped.len() - 3;
+    flipped[last] ^= 0x10;
+    fs::write(&wal, &flipped).unwrap();
+    let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&dir, opts(1)).unwrap();
+    assert_eq!(report.replayed, 11);
+    assert!(report.torn_tail);
+    assert!(report.truncated_bytes > 0);
+    assert_eq!(recovered.inner().snapshot_bytes(), states[11]);
+    drop(recovered);
+
+    // Flip a bit inside the FIRST record's payload: valid records still
+    // parse beyond the damage, so committed history is corrupt and
+    // recovery must refuse rather than silently drop acknowledged events.
+    let mut flipped = clean.clone();
+    flipped[10] ^= 0x04;
+    fs::write(&wal, &flipped).unwrap();
+    match DurableHealer::<ForgivingGraph>::open(&dir, opts(1)) {
+        Err(StoreError::Recovery(RecoveryError::CorruptCommitted { .. })) => {}
+        other => panic!("expected CorruptCommitted, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn uncommitted_batch_tail_is_dropped_whole() {
+    let committed = script(8, 0x5eed_0006);
+    let all = script(11, 0x5eed_0006); // same seed: first 8 identical
+    assert_eq!(&all[..8], &committed[..]);
+    let states = prefix_states(&all);
+    let dir = populated_store("midbatch", &committed, opts(1));
+
+    // Simulate a crash mid-batch: the batch's records reached the disk
+    // but its commit mark did not — append them with FLAG_COMMIT unset.
+    let mut replica = ForgivingGraph::from_snapshot_bytes(&states[8]).unwrap();
+    let mut tail = Vec::new();
+    for event in &all[8..] {
+        let outcome = replica.apply_event(event).unwrap();
+        let record = WalRecord {
+            seq: replica.epoch(),
+            flags: 0,
+            digest: outcome.digest(),
+            event: event.clone(),
+        };
+        tail.extend_from_slice(&record.to_bytes());
+    }
+    let wal = live_wal(&dir);
+    let mut bytes = fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&tail);
+    fs::write(&wal, &bytes).unwrap();
+
+    let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&dir, opts(1)).unwrap();
+    assert_eq!(report.replayed, 8, "no partial batch may be replayed");
+    assert_eq!(report.dropped_uncommitted, 3);
+    assert_eq!(report.truncated_bytes, tail.len() as u64);
+    assert_eq!(recovered.inner().snapshot_bytes(), states[8]);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn digest_drift_and_sequence_gaps_are_fatal() {
+    let events = script(6, 0x5eed_0007);
+    let states = prefix_states(&events);
+    let dir = populated_store("drift", &events, opts(1));
+    let wal = live_wal(&dir);
+    let clean = fs::read(&wal).unwrap();
+
+    let mut replica = ForgivingGraph::from_snapshot_bytes(&states[6]).unwrap();
+    let next = script(7, 0x5eed_0007)[6].clone();
+    let outcome = replica.apply_event(&next).unwrap();
+
+    // A committed record whose digest disagrees with what replay
+    // produces: the one lie digest certification exists to catch.
+    let lying = WalRecord {
+        seq: replica.epoch(),
+        flags: FLAG_COMMIT,
+        digest: outcome.digest() ^ 1,
+        event: next.clone(),
+    };
+    let mut bytes = clean.clone();
+    bytes.extend_from_slice(&lying.to_bytes());
+    fs::write(&wal, &bytes).unwrap();
+    match DurableHealer::<ForgivingGraph>::open(&dir, opts(1)) {
+        Err(StoreError::Recovery(RecoveryError::DigestMismatch { seq, .. })) => {
+            assert_eq!(seq, replica.epoch());
+        }
+        other => panic!("expected DigestMismatch, got {other:?}"),
+    }
+
+    // A record that skips ahead in sequence: missing history.
+    let skipping = WalRecord {
+        seq: replica.epoch() + 5,
+        flags: FLAG_COMMIT,
+        digest: outcome.digest(),
+        event: next,
+    };
+    let mut bytes = clean.clone();
+    bytes.extend_from_slice(&skipping.to_bytes());
+    fs::write(&wal, &bytes).unwrap();
+    match DurableHealer::<ForgivingGraph>::open(&dir, opts(1)) {
+        Err(StoreError::Recovery(RecoveryError::SequenceGap { expected, found })) => {
+            assert_eq!(expected, replica.epoch());
+            assert_eq!(found, replica.epoch() + 5);
+        }
+        other => panic!("expected SequenceGap, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn failed_batch_commits_its_applied_prefix() {
+    let dir = temp_dir("batch-prefix");
+    let mut durable = DurableHealer::create(seed_engine(), &dir, opts(1)).unwrap();
+    let victim = NodeId::new(3);
+    let batch = [
+        NetworkEvent::insert([NodeId::new(0), NodeId::new(1)]),
+        NetworkEvent::delete(victim),
+        NetworkEvent::delete(victim), // already dead: fails here
+        NetworkEvent::insert([NodeId::new(5)]),
+    ];
+    let err = durable.apply_batch(&batch).unwrap_err();
+    match &err {
+        EngineError::AtEvent { index, source, .. } => {
+            assert_eq!(*index, 2);
+            assert!(matches!(**source, EngineError::NotAlive(v) if v == victim));
+        }
+        other => panic!("expected AtEvent, got {other:?}"),
+    }
+    let expected = durable.inner().snapshot_bytes();
+    drop(durable);
+
+    // The applied prefix (events 0 and 1) must have been committed
+    // before the error was reported.
+    let (recovered, report) = DurableHealer::<ForgivingGraph>::open(&dir, opts(1)).unwrap();
+    assert_eq!(report.replayed, 2);
+    assert_eq!(recovered.inner().snapshot_bytes(), expected);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn create_refuses_an_existing_store() {
+    let dir = temp_dir("exists");
+    let _durable = DurableHealer::create(seed_engine(), &dir, opts(1)).unwrap();
+    match DurableHealer::create(seed_engine(), &dir, opts(1)) {
+        Err(StoreError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::AlreadyExists),
+        other => panic!("expected AlreadyExists, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// WAL sequence numbers are engine epochs, and recovery lands on a round
+/// barrier: the distributed healer must advance its epoch by exactly one
+/// per event, in lockstep with the sequential engine it mirrors.
+#[test]
+fn dist_epoch_advances_one_per_event() {
+    let g = generators::barabasi_albert(24, 2, 11);
+    let mut dist = DistHealer::from_graph(&g, PlacementPolicy::default());
+    let mut seq = ForgivingGraph::from_graph(&g).unwrap();
+    assert_eq!(dist.epoch(), seq.epoch());
+    for event in script(25, 0x5eed_0008) {
+        let before = dist.epoch();
+        let _ = dist.apply_event(&event).unwrap();
+        let _ = seq.apply_event(&event).unwrap();
+        assert_eq!(dist.epoch(), before + 1, "epoch must advance 1 per event");
+        assert_eq!(
+            dist.epoch(),
+            seq.epoch(),
+            "dist and sequential epochs agree"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests over the WAL scanner: truncation at arbitrary byte
+//! offsets always yields a clean committed prefix, commit marks gate
+//! replay at group boundaries, and degenerate segments scan clean.
+
+use fg_core::NetworkEvent;
+use fg_graph::NodeId;
+use fg_store::{scan_wal, WalRecord, FLAG_COMMIT};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_file(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fg-walprop-{}-{name}.log", std::process::id()))
+}
+
+/// `n` synthetic records with varied sizes; commit flag on every
+/// `group`-th record and on the last.
+fn synth_records(n: usize, group: usize) -> Vec<WalRecord> {
+    (0..n)
+        .map(|i| {
+            let event = if i % 2 == 0 {
+                NetworkEvent::insert((0..=(i as u32 % 4)).map(NodeId::new))
+            } else {
+                NetworkEvent::delete(NodeId::new(i as u32))
+            };
+            let commit = (i + 1) % group == 0 || i + 1 == n;
+            WalRecord {
+                seq: i as u64 + 1,
+                flags: if commit { FLAG_COMMIT } else { 0 },
+                digest: 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1),
+                event,
+            }
+        })
+        .collect()
+}
+
+fn frame(records: &[WalRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut ends = Vec::with_capacity(records.len());
+    for record in records {
+        bytes.extend_from_slice(&record.to_bytes());
+        ends.push(bytes.len());
+    }
+    (bytes, ends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cutting the file at ANY byte offset leaves a scan that returns an
+    /// exact prefix of the original records, never resyncs, and whose
+    /// committed prefix ends at a commit mark.
+    #[test]
+    fn truncation_yields_an_exact_committed_prefix(
+        n in 1usize..24,
+        group in 1usize..5,
+        raw_cut in 0usize..4096,
+    ) {
+        let records = synth_records(n, group);
+        let (bytes, ends) = frame(&records);
+        let cut = raw_cut % (bytes.len() + 1);
+        let path = temp_file("trunc");
+        fs::write(&path, &bytes[..cut]).unwrap();
+
+        let scan = scan_wal(&path).unwrap();
+        // Complete records below the cut survive; nothing else does.
+        let complete = ends.iter().filter(|&&e| e <= cut).count();
+        prop_assert_eq!(scan.records.len(), complete);
+        prop_assert_eq!(&scan.records[..], &records[..complete]);
+        prop_assert!(scan.resync_offset.is_none(), "truncation is never mid-file damage");
+        prop_assert_eq!(scan.torn, cut > scan.valid_len as usize);
+
+        // The committed prefix ends exactly at the last commit mark.
+        let committed = (0..complete).rev().find(|&i| records[i].is_commit()).map_or(0, |i| i + 1);
+        prop_assert_eq!(scan.committed, committed);
+        let committed_len = if committed == 0 { 0 } else { ends[committed - 1] as u64 };
+        prop_assert_eq!(scan.committed_len, committed_len);
+
+        // Recovery's truncation rule is idempotent: cutting to the
+        // committed prefix and rescanning reports a clean segment.
+        fs::write(&path, &bytes[..committed_len as usize]).unwrap();
+        let again = scan_wal(&path).unwrap();
+        prop_assert_eq!(again.committed, committed);
+        prop_assert!(!again.torn);
+        prop_assert_eq!(again.committed_len, committed_len);
+    }
+
+    /// With commit marks only on batch boundaries, replay never exposes a
+    /// partial group: the committed count is always a whole number of
+    /// groups.
+    #[test]
+    fn commit_marks_gate_replay_at_group_boundaries(
+        n in 1usize..30,
+        group in 1usize..6,
+        drop_tail in 0usize..3,
+    ) {
+        let records = synth_records(n, group);
+        let (bytes, ends) = frame(&records);
+        // Drop up to `drop_tail` whole records from the end (a crash that
+        // lost the commit mark of the final group).
+        let keep = n.saturating_sub(drop_tail);
+        let len = if keep == 0 { 0 } else { ends[keep - 1] };
+        let path = temp_file("groups");
+        fs::write(&path, &bytes[..len]).unwrap();
+
+        let scan = scan_wal(&path).unwrap();
+        // Every surviving committed record closes at a group boundary
+        // (or the true end of the log).
+        if scan.committed > 0 {
+            prop_assert!(
+                records[scan.committed - 1].is_commit(),
+                "committed prefix must end on a commit mark"
+            );
+            if scan.committed < n {
+                prop_assert_eq!(
+                    scan.committed % group, 0,
+                    "a partial group leaked into the committed prefix"
+                );
+            }
+        }
+        prop_assert_eq!(scan.resync_offset, None);
+    }
+}
+
+#[test]
+fn empty_wal_scans_clean() {
+    let path = temp_file("empty");
+    fs::write(&path, b"").unwrap();
+    let scan = scan_wal(&path).unwrap();
+    assert!(scan.records.is_empty());
+    assert_eq!(scan.committed, 0);
+    assert_eq!(scan.committed_len, 0);
+    assert!(!scan.torn);
+    assert_eq!(scan.resync_offset, None);
+}
+
+#[test]
+fn lone_uncommitted_record_is_dropped() {
+    let mut records = synth_records(1, 1);
+    records[0].flags = 0;
+    let (bytes, _) = frame(&records);
+    let path = temp_file("lone");
+    fs::write(&path, &bytes).unwrap();
+    let scan = scan_wal(&path).unwrap();
+    assert_eq!(scan.records.len(), 1);
+    assert_eq!(scan.committed, 0, "an uncommitted record must not replay");
+    assert_eq!(scan.committed_len, 0);
+}
