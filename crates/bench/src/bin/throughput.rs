@@ -10,11 +10,13 @@
 //! With `--queries N` the run becomes a mixed read/write workload: `N`
 //! reads are interleaved across the write batches (e.g. `--events 50000
 //! --queries 200000` is an 80/20 read/write mix) and answered through
-//! three read paths — the landmark `QueryCache`, the uncached `QueryOps`
-//! API (bidirectional BFS), and the naive per-query-BFS baseline
-//! (sampled; one fresh full BFS per query) — so the JSON records
-//! `queries_per_sec` for each, both speedups, and the (hard-gated) zero
-//! answer-mismatch count.
+//! four read paths — the landmark `QueryCache` on the live adjacency,
+//! the `FrozenQueryCache` serving tier (per-batch image-only CSR
+//! publishes, persistent ghost landmark state, dense bitset kernels),
+//! the uncached `QueryOps` API (bidirectional BFS), and the naive
+//! per-query-BFS baseline (sampled; one fresh full BFS per query) — so
+//! the JSON records `queries_per_sec` for each, the speedups, and the
+//! (hard-gated) zero answer-mismatch count.
 //!
 //! Flags (all optional): `--workloads a,b,c`, `--n <initial size>`,
 //! `--events <count>`, `--batch <size>`, `--backend engine|dist|both`,
@@ -24,6 +26,11 @@
 //! `--queries <count>` / `--query-mix dist:80,path:10,stretch:10` /
 //! `--query-seed <u64>` / `--query-hot <k>` / `--query-cache <cap>` /
 //! `--query-naive-every <k>` (the mixed read workload),
+//! `--profile 1` (per-phase wall times — insert/gather/strip/plan/merge
+//! on the write side, freeze/query/rebuild buckets on the read side —
+//! into a `profile` JSON section), `--compact 1` (run the engine
+//! backend with the default arena [`CompactionPolicy`] and record the
+//! post-run arena occupancy),
 //! `--trace-out <path>` (dump the trace for cross-ref replays),
 //! `--wal <dir>` (run the engine backend through a [`DurableHealer`]
 //! so every event is logged-then-fsynced before acknowledgement) with
@@ -34,20 +41,37 @@ use fg_bench::json::Json;
 use fg_bench::{
     scenario, BenchArgs, QueryStats, QueryWorkload, RunResult, Scenario, ScenarioRunner,
 };
-use fg_core::{ForgivingGraph, PlacementPolicy, SelfHealer};
+use fg_core::{
+    CompactionPolicy, EngineStats, ForgivingGraph, PhaseTimes, PlacementPolicy, SelfHealer,
+};
 use fg_dist::DistHealer;
 use fg_metrics::{f2, Table};
 use fg_store::{DurableHealer, DurableOptions};
 
-/// One backend replay: the write-side result plus, in mixed runs, the
-/// read-side stats.
+/// Everything one backend replay produced: the write-side result, the
+/// read-side stats (mixed runs), the per-phase wall times (`--profile`)
+/// and the healer's lifetime counters (arena occupancy).
+struct BackendRun {
+    result: RunResult,
+    queries: Option<QueryStats>,
+    phases: Option<PhaseTimes>,
+    stats: Option<EngineStats>,
+}
+
+/// One backend replay: with `profile` on, the healer accumulates
+/// per-phase wall times while it runs (healers without a phase structure
+/// return `None` and are skipped in the profile section).
 fn run_backend(
     runner: &ScenarioRunner,
     sc: &Scenario,
     healer: &mut dyn SelfHealer,
     wl: Option<&QueryWorkload>,
-) -> (RunResult, Option<QueryStats>) {
-    match wl {
+    profile: bool,
+) -> BackendRun {
+    if profile {
+        healer.enable_profiling();
+    }
+    let (result, queries) = match wl {
         Some(wl) => {
             let mixed = runner
                 .run_mixed(sc, healer, wl)
@@ -58,6 +82,12 @@ fn run_backend(
             runner.run(sc, healer).expect("scenario traces are legal"),
             None,
         ),
+    };
+    BackendRun {
+        result,
+        queries,
+        phases: healer.phase_times(),
+        stats: healer.lifetime_stats(),
     }
 }
 
@@ -66,11 +96,51 @@ fn run_dist(
     batch: usize,
     threads: usize,
     wl: Option<&QueryWorkload>,
-) -> (RunResult, Option<QueryStats>) {
+    profile: bool,
+) -> BackendRun {
     let mut healer =
         DistHealer::from_graph_threaded(&sc.initial, PlacementPolicy::Adjacent, threads);
     let runner = ScenarioRunner::new(batch).with_threads(threads);
-    run_backend(&runner, sc, &mut healer, wl)
+    run_backend(&runner, sc, &mut healer, wl, profile)
+}
+
+/// The `--profile` JSON entry for one run: write-side phase seconds (and
+/// how much of the ingestion wall they cover) plus the read-side time
+/// buckets from the mixed workload.
+fn profile_json(run: &BackendRun) -> Option<Json> {
+    let t = run.phases?;
+    let write = Json::obj()
+        .field("insert_seconds", Json::Float(t.insert))
+        .field("gather_seconds", Json::Float(t.gather))
+        .field("strip_seconds", Json::Float(t.strip))
+        .field("plan_seconds", Json::Float(t.plan))
+        .field("merge_seconds", Json::Float(t.merge))
+        .field("total_phase_seconds", Json::Float(t.total()))
+        .field("wall_seconds", Json::Float(run.result.wall_seconds))
+        .field(
+            "coverage",
+            Json::Float(fg_bench::rate(t.total(), run.result.wall_seconds)),
+        );
+    let mut entry = Json::obj()
+        .field("scenario", Json::str(&run.result.scenario))
+        .field("backend", Json::str(&run.result.backend))
+        .field("write", write);
+    if let Some(q) = &run.queries {
+        entry = entry.field(
+            "read",
+            Json::obj()
+                .field("freeze_seconds", Json::Float(q.freeze_seconds))
+                .field(
+                    "rebuild_seconds",
+                    Json::Float(q.maintain_seconds + q.frozen_maintain_seconds),
+                )
+                .field(
+                    "query_seconds",
+                    Json::Float(q.cached_seconds + q.frozen_seconds),
+                ),
+        );
+    }
+    Some(entry)
 }
 
 fn main() {
@@ -86,6 +156,8 @@ fn main() {
     let host_cpus = fg_bench::host_cpus();
     let workload = args.query_workload(seed.wrapping_add(0x9e37));
     let wal_dir = args.raw("wal").map(std::path::PathBuf::from);
+    let profile = args.get("profile", 0usize) != 0;
+    let compact = (args.get("compact", 0usize) != 0).then(CompactionPolicy::default);
     let checkpoint_every = args.get("checkpoint-every", 0u64);
     let wal_opts = DurableOptions {
         checkpoint_every: (checkpoint_every > 0).then_some(checkpoint_every),
@@ -109,23 +181,24 @@ fn main() {
         ],
     );
     let mut query_table = Table::new(
-        "Mixed read/write — landmark cache vs uncached API vs naive per-query BFS",
+        "Mixed read/write — landmark cache (live vs frozen CSR) vs uncached API vs naive BFS",
         [
             "workload",
             "backend",
             "queries",
             "mix",
             "cached q/s",
+            "frozen q/s",
             "api q/s",
             "naive q/s",
             "vs naive",
-            "vs api",
+            "frozen/cached",
             "hits",
             "misses",
             "mismatches",
         ],
     );
-    let mut results: Vec<(RunResult, Option<QueryStats>)> = Vec::new();
+    let mut results: Vec<BackendRun> = Vec::new();
     let mut sweeps = Vec::new();
     for name in names.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         let sc = scenario(name, n, events, seed);
@@ -144,9 +217,10 @@ fn main() {
             }
             None
         };
-        let mut runs: Vec<(RunResult, Option<QueryStats>)> = Vec::new();
+        let mut runs: Vec<BackendRun> = Vec::new();
         if backend == "engine" || backend == "both" {
-            let fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+            let mut fg = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
+            fg.set_compaction(compact);
             match &wal_dir {
                 // Durable run: every event is logged-then-fsynced before the
                 // runner sees its outcome, so the wall clock honestly prices
@@ -156,20 +230,31 @@ fn main() {
                     let _ = std::fs::remove_dir_all(&store);
                     let mut durable =
                         DurableHealer::create(fg, &store, wal_opts).expect("fresh WAL store");
-                    runs.push(run_backend(&runner, &sc, &mut durable, workload.as_ref()));
+                    runs.push(run_backend(
+                        &runner,
+                        &sc,
+                        &mut durable,
+                        workload.as_ref(),
+                        profile,
+                    ));
                     durable.sync().expect("final WAL sync");
                     eprintln!("wal store for {name}: {}", store.display());
                 }
                 None => {
-                    let mut fg = fg;
-                    runs.push(run_backend(&runner, &sc, &mut fg, workload.as_ref()));
+                    runs.push(run_backend(
+                        &runner,
+                        &sc,
+                        &mut fg,
+                        workload.as_ref(),
+                        profile,
+                    ));
                 }
             }
         }
         // With a sweep, the sweep's widths *are* the dist runs — a
         // standalone run at `--threads` would just duplicate one of them.
         if dist_backend && sweep.is_none() {
-            runs.push(run_dist(&sc, batch, threads, workload.as_ref()));
+            runs.push(run_dist(&sc, batch, threads, workload.as_ref(), profile));
         }
         assert!(
             !runs.is_empty() || sweep.is_some(),
@@ -183,19 +268,19 @@ fn main() {
             let mut entries = Vec::new();
             let mut base_wall = None;
             for w in widths.split(',').filter_map(|t| t.trim().parse().ok()) {
-                let (result, queries) = run_dist(&sc, batch, w, workload.as_ref());
-                let base = *base_wall.get_or_insert(result.wall_seconds);
+                let run = run_dist(&sc, batch, w, workload.as_ref(), profile);
+                let base = *base_wall.get_or_insert(run.result.wall_seconds);
                 entries.push(
                     Json::obj()
                         .field("threads", Json::Int(w as i64))
-                        .field("wall_seconds", Json::Float(result.wall_seconds))
-                        .field("events_per_sec", Json::Float(result.events_per_sec))
+                        .field("wall_seconds", Json::Float(run.result.wall_seconds))
+                        .field("events_per_sec", Json::Float(run.result.events_per_sec))
                         .field(
                             "speedup_vs_first",
-                            Json::Float(fg_bench::rate(base, result.wall_seconds)),
+                            Json::Float(fg_bench::rate(base, run.result.wall_seconds)),
                         ),
                 );
-                runs.push((result, queries));
+                runs.push(run);
             }
             sweeps.push(
                 Json::obj()
@@ -206,7 +291,8 @@ fn main() {
             );
         }
 
-        for (result, queries) in runs {
+        for run in runs {
+            let result = &run.result;
             table.push_row([
                 result.scenario.clone(),
                 result.backend.clone(),
@@ -219,10 +305,10 @@ fn main() {
                 f2(result.max_batch_ms),
                 result.final_nodes.to_string(),
             ]);
-            if let Some(q) = &queries {
+            if let Some(q) = &run.queries {
                 assert_eq!(
                     q.mismatches, 0,
-                    "{name}/{}: cached answers diverged from naive BFS",
+                    "{name}/{}: read paths diverged (cached/frozen/api/naive)",
                     result.backend
                 );
                 query_table.push_row([
@@ -231,16 +317,17 @@ fn main() {
                     q.queries.to_string(),
                     q.mix.clone(),
                     format!("{:.0}", q.cached_qps),
+                    format!("{:.0}", q.frozen_qps),
                     format!("{:.0}", q.api_qps),
                     format!("{:.0}", q.naive_qps),
                     f2(q.speedup),
-                    f2(q.speedup_vs_api),
+                    f2(q.speedup_frozen_vs_cached),
                     q.cache.hits.to_string(),
                     q.cache.misses.to_string(),
                     q.mismatches.to_string(),
                 ]);
             }
-            results.push((result, queries));
+            results.push(run);
         }
     }
     println!("{}", table.to_markdown());
@@ -261,6 +348,14 @@ fn main() {
             .field("wal_checkpoint_every", Json::Int(checkpoint_every as i64))
             .field("wal_sync_every", Json::Int(wal_opts.sync_every as i64));
     }
+    if let Some(policy) = &compact {
+        config = config
+            .field("compact_min_density", Json::Float(policy.min_density))
+            .field("compact_min_slots", Json::Int(policy.min_slots as i64));
+    }
+    if profile {
+        config = config.field("profile", Json::Int(1));
+    }
     if let Some(wl) = &workload {
         config = config
             .field("queries", Json::Int(wl.queries as i64))
@@ -275,14 +370,31 @@ fn main() {
     if !sweeps.is_empty() {
         report = report.field("threads_sweep", Json::Arr(sweeps));
     }
+    let profiles: Vec<Json> = results.iter().filter_map(profile_json).collect();
+    if !profiles.is_empty() {
+        report = report.field("profile", Json::Arr(profiles));
+    }
     let report = report.field(
         "results",
         Json::Arr(
             results
                 .iter()
-                .map(|(r, q)| match q {
-                    Some(q) => r.to_json().field("queries", q.to_json()),
-                    None => r.to_json(),
+                .map(|run| {
+                    let mut obj = run.result.to_json();
+                    if let Some(q) = &run.queries {
+                        obj = obj.field("queries", q.to_json());
+                    }
+                    if let Some(s) = &run.stats {
+                        obj = obj.field(
+                            "arena",
+                            Json::obj()
+                                .field("live", Json::Int(s.arena_live as i64))
+                                .field("slots", Json::Int(s.arena_slots as i64))
+                                .field("density", Json::Float(s.arena_density()))
+                                .field("compactions", Json::Int(s.compactions as i64)),
+                        );
+                    }
+                    obj
                 })
                 .collect(),
         ),

@@ -1,10 +1,12 @@
 //! Mixed read/write workloads: configurable query streams interleaved
-//! with churn, answered through **three** read paths — the landmark
-//! [`QueryCache`], the uncached `QueryOps` API (bidirectional BFS), and
-//! the naive per-query-BFS baseline (a fresh full single-source BFS per
-//! query, the pre-query-API way of reading distances out of the offline
-//! sampler) — so every run measures both speedups *and* differentially
-//! checks the paths against each other.
+//! with churn, answered through **four** read paths — the landmark
+//! [`QueryCache`] over the live adjacency, the [`FrozenQueryCache`]
+//! serving tier (image-only CSR publishes per batch, dense bitset BFS
+//! memos, persistent ghost landmarks), the uncached `QueryOps` API
+//! (bidirectional BFS), and the naive per-query-BFS baseline (a fresh
+//! full single-source BFS per query, the pre-query-API way of reading
+//! distances out of the offline sampler) — so every run measures both
+//! speedups *and* differentially checks the paths against each other.
 //!
 //! The pieces:
 //!
@@ -15,7 +17,7 @@
 //!   `--queries` / `--query-mix` / `--query-seed` / `--query-hot` /
 //!   `--query-cache`);
 //! * [`QueryStats`] — what a mixed run measured: queries/sec for all
-//!   three paths, the speedups, cache behaviour counters and the
+//!   four paths, the speedups, cache behaviour counters and the
 //!   (always zero) answer-mismatch count, serialised into the bench
 //!   JSON next to the write-side throughput.
 //!
@@ -25,7 +27,7 @@
 //! exploits), targets uniformly.
 
 use crate::json::Json;
-use fg_core::{CacheStats, GraphView, QueryCache, QueryOps};
+use fg_core::{CacheStats, FrozenQueryCache, GraphView, QueryCache, QueryOps};
 use fg_graph::{Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -289,6 +291,25 @@ pub(crate) fn answer_cached(cache: &mut QueryCache, view: &impl GraphView, q: &Q
     }
 }
 
+/// The frozen read path: the dedicated [`FrozenQueryCache`] serving
+/// tier, answering entirely from its published epoch snapshot — dense
+/// per-epoch image memos over the bitset CSR kernels plus persistent
+/// ghost landmarks, never touching the live adjacency. Scalar answers
+/// (distance, stretch, degree, component) equal [`answer_cached`]'s
+/// exactly; paths are equally short and walk real edges but may pick
+/// different nodes (the tier's resident landmark set differs from the
+/// live cache's, so gradient descent can start from a different
+/// source).
+pub(crate) fn answer_frozen(tier: &mut FrozenQueryCache, q: &Query) -> Answer {
+    match q.kind {
+        QueryKind::Distance => Answer::Dist(tier.distance(q.u, q.v)),
+        QueryKind::Path => Answer::Path(tier.path(q.u, q.v)),
+        QueryKind::Stretch => Answer::Stretch(tier.stretch(q.u, q.v)),
+        QueryKind::Degree => Answer::Degree(tier.degree(q.u)),
+        QueryKind::Component => Answer::Component(tier.same_component(q.u, q.v)),
+    }
+}
+
 /// The uncached query API: `QueryOps` per-pair reads (bidirectional BFS,
 /// no landmark state). The middle tier of the three measured read paths.
 pub(crate) fn answer_api(view: &impl GraphView, q: &Query) -> Answer {
@@ -407,9 +428,37 @@ pub struct QueryStats {
     /// full single-source BFS per query — what reads cost before the
     /// query API existed (the offline sampler's machinery).
     pub naive_seconds: f64,
+    /// Wall-clock seconds publishing the per-batch epoch snapshots
+    /// ([`FrozenQueryCache::publish`]: an image-only CSR copy — the
+    /// frozen path's analogue of an index rebuild; the ghost is never
+    /// re-frozen).
+    pub freeze_seconds: f64,
+    /// Wall-clock seconds maintaining the frozen tier's persistent
+    /// ghost state from the write batches' typed outcomes
+    /// ([`FrozenQueryCache::note_batch`]: adjacency extension plus
+    /// in-place landmark relaxation) — the frozen analogue of
+    /// [`QueryStats::maintain_seconds`].
+    pub frozen_maintain_seconds: f64,
+    /// Wall-clock seconds answering through the frozen serving tier.
+    pub frozen_seconds: f64,
     /// `queries / (cached_seconds + maintain_seconds)` — cached serving
     /// throughput inclusive of cache maintenance.
     pub cached_qps: f64,
+    /// `queries / (frozen_seconds + freeze_seconds +
+    /// frozen_maintain_seconds)` — frozen serving throughput inclusive of
+    /// snapshot builds and cache maintenance, so it is directly
+    /// comparable to [`QueryStats::cached_qps`].
+    pub frozen_qps: f64,
+    /// `frozen_qps / cached_qps` — what the CSR layout and bitset
+    /// kernels buy over the same cache on the live adjacency.
+    pub speedup_frozen_vs_cached: f64,
+    /// What the frozen serving tier did. Its profile differs from
+    /// [`QueryStats::cache`] by design: per-epoch image memos re-miss
+    /// each batch's hot sources (cheap dense BFS) instead of paying
+    /// invalidation drops, while the persistent ghost landmarks almost
+    /// never miss — so `dropped` is always zero and `repaired` counts
+    /// only ghost relaxations.
+    pub frozen_cache: CacheStats,
     /// `queries / api_seconds`.
     pub api_qps: f64,
     /// `queries / naive_seconds`.
@@ -444,19 +493,50 @@ impl QueryStats {
             .field("mismatches", Json::Int(self.mismatches as i64))
             .field("cached_seconds", Json::Float(self.cached_seconds))
             .field("maintain_seconds", Json::Float(self.maintain_seconds))
+            .field("freeze_seconds", Json::Float(self.freeze_seconds))
+            .field(
+                "frozen_maintain_seconds",
+                Json::Float(self.frozen_maintain_seconds),
+            )
+            .field("frozen_seconds", Json::Float(self.frozen_seconds))
             .field("api_seconds", Json::Float(self.api_seconds))
             .field("naive_seconds", Json::Float(self.naive_seconds))
             .field("queries_per_sec_cached", Json::Float(self.cached_qps))
+            .field("queries_per_sec_frozen", Json::Float(self.frozen_qps))
             .field("queries_per_sec_api", Json::Float(self.api_qps))
             .field("queries_per_sec_naive", Json::Float(self.naive_qps))
             .field("speedup_vs_naive", Json::Float(self.speedup))
             .field("speedup_vs_api", Json::Float(self.speedup_vs_api))
+            .field(
+                "speedup_frozen_vs_cached",
+                Json::Float(self.speedup_frozen_vs_cached),
+            )
             .field("cache_hits", Json::Int(self.cache.hits as i64))
             .field("cache_misses", Json::Int(self.cache.misses as i64))
             .field("cache_repaired", Json::Int(self.cache.repaired as i64))
             .field("cache_dropped", Json::Int(self.cache.dropped as i64))
             .field("cache_evicted", Json::Int(self.cache.evicted as i64))
             .field("cache_flushes", Json::Int(self.cache.flushes as i64))
+            .field(
+                "frozen_cache_hits",
+                Json::Int(self.frozen_cache.hits as i64),
+            )
+            .field(
+                "frozen_cache_misses",
+                Json::Int(self.frozen_cache.misses as i64),
+            )
+            .field(
+                "frozen_cache_repaired",
+                Json::Int(self.frozen_cache.repaired as i64),
+            )
+            .field(
+                "frozen_cache_evicted",
+                Json::Int(self.frozen_cache.evicted as i64),
+            )
+            .field(
+                "frozen_cache_flushes",
+                Json::Int(self.frozen_cache.flushes as i64),
+            )
     }
 
     /// Folds one answered block into the tallies.
@@ -486,25 +566,37 @@ impl QueryStats {
             mismatches: 0,
             cached_seconds: 0.0,
             maintain_seconds: 0.0,
+            freeze_seconds: 0.0,
+            frozen_maintain_seconds: 0.0,
+            frozen_seconds: 0.0,
             api_seconds: 0.0,
             naive_seconds: 0.0,
             cached_qps: 0.0,
+            frozen_qps: 0.0,
+            speedup_frozen_vs_cached: 0.0,
             api_qps: 0.0,
             naive_qps: 0.0,
             speedup: 0.0,
             speedup_vs_api: 0.0,
             cache: CacheStats::default(),
+            frozen_cache: CacheStats::default(),
         }
     }
 
-    pub(crate) fn finish(&mut self, cache: &QueryCache) {
+    pub(crate) fn finish(&mut self, cache: &QueryCache, frozen: &FrozenQueryCache) {
         self.cache = cache.stats();
+        self.frozen_cache = frozen.stats();
         let queries = self.queries as f64;
         self.cached_qps = crate::rate(queries, self.cached_seconds + self.maintain_seconds);
+        self.frozen_qps = crate::rate(
+            queries,
+            self.frozen_seconds + self.freeze_seconds + self.frozen_maintain_seconds,
+        );
         self.api_qps = crate::rate(queries, self.api_seconds);
         self.naive_qps = crate::rate(self.naive_queries as f64, self.naive_seconds);
         self.speedup = crate::rate(self.cached_qps, self.naive_qps);
         self.speedup_vs_api = crate::rate(self.cached_qps, self.api_qps);
+        self.speedup_frozen_vs_cached = crate::rate(self.frozen_qps, self.cached_qps);
     }
 }
 
@@ -567,9 +659,10 @@ mod tests {
     fn query_stats_json_shape() {
         let wl = QueryWorkload::new(10);
         let mut stats = QueryStats::empty(&wl);
-        stats.finish(&QueryCache::new(4));
+        stats.finish(&QueryCache::new(4), &FrozenQueryCache::new(4));
         let text = stats.to_json().pretty();
         assert!(text.contains("\"queries_per_sec_cached\""));
+        assert!(text.contains("\"queries_per_sec_frozen\""));
         assert!(text.contains("\"mix\": \"dist:80,path:10,stretch:10\""));
         assert!(text.contains("\"mismatches\": 0"));
     }

@@ -22,7 +22,8 @@
 
 use crate::json::Json;
 use crate::queries::{
-    answer_api, answer_cached, answer_naive, answers_agree, QueryStats, QueryStream, QueryWorkload,
+    answer_api, answer_cached, answer_frozen, answer_naive, answers_agree, QueryStats, QueryStream,
+    QueryWorkload,
 };
 use fg_core::{EngineError, GraphView, HealerObserver, NetworkEvent, QueryCache, SelfHealer};
 use fg_graph::{Graph, NodeId};
@@ -569,14 +570,21 @@ impl ScenarioRunner {
     /// Replays `scenario` while serving an interleaved read workload:
     /// after every timed write batch, the proportional share of `wl`'s
     /// queries runs against the healer's [`view`](SelfHealer::view)
-    /// through **three** read paths — the landmark [`QueryCache`]
+    /// through **four** read paths — the landmark [`QueryCache`]
     /// (invalidated/repaired incrementally from the batch's typed
-    /// outcomes), the uncached `QueryOps` API (per-query bidirectional
+    /// outcomes), the [`fg_core::FrozenQueryCache`] serving tier (one
+    /// image-only CSR publish per batch, dense bitset-BFS landmark
+    /// memos, persistent ghost landmarks maintained from the same typed
+    /// outcomes; publishes and maintenance timed into their own
+    /// buckets), the uncached `QueryOps` API (per-query bidirectional
     /// BFS), and the naive baseline (one fresh full single-source BFS
     /// per query, what reads cost before the query API existed). Each
-    /// pass is timed separately and every answer triple is compared, so
+    /// pass is timed separately and every answer tuple is compared, so
     /// the returned [`QueryStats`] carry both speedups *and* a
-    /// differential verdict (`mismatches`, always 0).
+    /// differential verdict (`mismatches`, always 0). Frozen scalar
+    /// answers must *equal* the cached ones; frozen paths must agree
+    /// per `answers_agree` (equally short, valid edges — the tier's
+    /// resident landmarks may pick a different gradient source).
     ///
     /// Write batches are timed exactly as in [`ScenarioRunner::run`]
     /// (query work happens strictly between batches), so the write-side
@@ -597,6 +605,7 @@ impl ScenarioRunner {
     ) -> Result<MixedRunResult, EngineError> {
         let mut tallies = Tallies::default();
         let mut cache = QueryCache::new(wl.cache_capacity);
+        let mut frozen_cache = fg_core::FrozenQueryCache::new(wl.cache_capacity);
         let mut stream = QueryStream::new(wl);
         let mut stats = QueryStats::empty(wl);
         let total_events = scenario.events.len().max(1);
@@ -618,6 +627,19 @@ impl ScenarioRunner {
             let start = Instant::now();
             cache.note_batch(&view, batch, &report);
             stats.maintain_seconds += start.elapsed().as_secs_f64();
+
+            // The frozen tier pays its epoch costs up front, amortised
+            // over the batch's whole query share: ghost maintenance
+            // (adjacency extension + in-place landmark relaxation
+            // against the live view's outcomes), then one image-only
+            // CSR publish — so `frozen_qps` carries the full serving
+            // price.
+            let start = Instant::now();
+            frozen_cache.note_batch(&view, batch, &report);
+            stats.frozen_maintain_seconds += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            frozen_cache.publish(&view);
+            stats.freeze_seconds += start.elapsed().as_secs_f64();
             applied += batch.len();
             let due = wl.queries * applied / total_events;
             let count = due.saturating_sub(issued);
@@ -633,6 +655,13 @@ impl ScenarioRunner {
                 .map(|q| answer_cached(&mut cache, &view, q))
                 .collect();
             stats.cached_seconds += start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let frozen_answers: Vec<_> = block
+                .iter()
+                .map(|q| answer_frozen(&mut frozen_cache, q))
+                .collect();
+            stats.frozen_seconds += start.elapsed().as_secs_f64();
 
             let start = Instant::now();
             let api: Vec<_> = block.iter().map(|q| answer_api(&view, q)).collect();
@@ -656,13 +685,20 @@ impl ScenarioRunner {
             // timed regions).
             for (i, q) in block.iter().enumerate() {
                 let mut ok = answers_agree(q, &cached[i], &api[i], view.image());
+                // Frozen scalar answers must *equal* the cached ones
+                // (answers_agree is strict equality for non-path kinds);
+                // frozen paths must be equally short and walk real edges
+                // — the tier's resident landmark set differs from the
+                // live cache's, so its gradient descent may legitimately
+                // pick different nodes.
+                ok &= answers_agree(q, &frozen_answers[i], &cached[i], view.image());
                 if let Some(naive) = &naive {
                     ok &= answers_agree(q, &naive[i], &api[i], view.image());
                 }
                 stats.record(q, api[i].answered(), ok);
             }
         }
-        stats.finish(&cache);
+        stats.finish(&cache, &frozen_cache);
         Ok(MixedRunResult {
             run: tallies.into_result(self, scenario, healer),
             queries: stats,
@@ -850,12 +886,31 @@ mod tests {
             assert_eq!(q.mismatches, 0, "{}: cached != naive", result.run.backend);
             assert_eq!(q.by_kind.iter().map(|(_, c)| c).sum::<usize>(), q.queries);
             assert!(q.cache.hits > 0, "{}: no cache hits", result.run.backend);
+            // The frozen tier's profile differs from the live cache's by
+            // design: per-epoch memos re-miss instead of paying drops,
+            // and ghost landmarks are repaired in place forever.
+            assert!(
+                q.frozen_cache.hits > 0,
+                "{}: no frozen hits",
+                result.run.backend
+            );
+            assert_eq!(
+                q.frozen_cache.dropped, 0,
+                "{}: the frozen tier never drops",
+                result.run.backend
+            );
+            assert_eq!(
+                q.frozen_cache.flushes, 0,
+                "{}: the tier was fed every batch, so nothing flushes",
+                result.run.backend
+            );
         }
         // The query stream is deterministic and both backends hold
         // identical state, so the read side must agree exactly.
         assert_eq!(engine.queries.by_kind, dist.queries.by_kind);
         assert_eq!(engine.queries.unanswered, dist.queries.unanswered);
         assert_eq!(engine.queries.cache, dist.queries.cache);
+        assert_eq!(engine.queries.frozen_cache, dist.queries.frozen_cache);
         // And the write side still folds the same aggregates as a plain
         // run of the same trace.
         let mut plain = ForgivingGraph::from_graph(&sc.initial).expect("fresh G0");
@@ -956,13 +1011,18 @@ mod tests {
             "mismatches",
             "cached_seconds",
             "maintain_seconds",
+            "freeze_seconds",
+            "frozen_maintain_seconds",
+            "frozen_seconds",
             "api_seconds",
             "naive_seconds",
             "queries_per_sec_cached",
+            "queries_per_sec_frozen",
             "queries_per_sec_api",
             "queries_per_sec_naive",
             "speedup_vs_naive",
             "speedup_vs_api",
+            "speedup_frozen_vs_cached",
             "cache_hits",
             "cache_misses",
             "cache_repaired",

@@ -35,6 +35,88 @@ pub enum PlacementPolicy {
     Adjacent,
 }
 
+/// When to compact the forest arena (opt-in; see
+/// [`ForgivingGraph::set_compaction`]).
+///
+/// The arena tombstones freed virtual nodes and never reuses their slots,
+/// so under churn the live/ever slot ratio ([`EngineStats::arena_density`])
+/// decays toward zero. With a policy installed, the engine compacts at the
+/// end of any repair that leaves the density at or below `min_density`
+/// (once the arena has at least `min_slots` slots), restoring density 1.0.
+/// Each slot is moved at most once per halving, so the amortised cost per
+/// freed node is O(1) and the post-repair density always exceeds
+/// `min_density`.
+///
+/// Compaction is observably invisible: virtual nodes address each other by
+/// [`VKey`], never by arena slot, and [`Forest`] equality ignores slot
+/// layout — golden-trace digests are bit-identical with and without it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompactionPolicy {
+    /// Compact when `forest.len() / forest.slots_ever()` is at or below
+    /// this (default 0.5: compact once half the slots are tombstones).
+    pub min_density: f64,
+    /// Leave arenas smaller than this alone (default 64): tiny arenas
+    /// aren't worth the move, and the density bound is meaningless at
+    /// n ≈ 1.
+    pub min_slots: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            min_density: 0.5,
+            min_slots: 64,
+        }
+    }
+}
+
+/// Cumulative per-phase wall-clock seconds, filled in while profiling is
+/// on (see [`ForgivingGraph::enable_profiling`]).
+///
+/// The write path has four phases per deletion — mirroring §4.2's repair
+/// choreography — plus one for insertions:
+///
+/// * `gather` — victim bookkeeping: surviving neighbours, original-edge
+///   release, the removed key set, anchors and tainted ancestors;
+/// * `strip` — shattering affected trees into complete-subtree fragments
+///   and minting the fresh singleton leaves;
+/// * `plan` — bucketing fragments at their BT_v anchors and detaching the
+///   victim from the image;
+/// * `merge` — the bottom-up BT_v merge (plus any arena compaction it
+///   triggers);
+/// * `insert` — whole insertions (no healing, so one phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Seconds spent applying insertions.
+    pub insert: f64,
+    /// Seconds in the gather phase of deletions.
+    pub gather: f64,
+    /// Seconds in the strip phase of deletions.
+    pub strip: f64,
+    /// Seconds in the plan phase of deletions.
+    pub plan: f64,
+    /// Seconds in the merge phase of deletions.
+    pub merge: f64,
+}
+
+impl PhaseTimes {
+    /// Total profiled seconds across all phases.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.insert + self.gather + self.strip + self.plan + self.merge
+    }
+}
+
+/// Phase selector for [`ForgivingGraph::lap`].
+#[derive(Clone, Copy)]
+enum Phase {
+    Insert,
+    Gather,
+    Strip,
+    Plan,
+    Merge,
+}
+
 /// A self-healing peer-to-peer network implementing the Forgiving Graph.
 ///
 /// Maintains three coupled structures:
@@ -59,7 +141,7 @@ pub enum PlacementPolicy {
 /// fg.check_invariants()?;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ForgivingGraph {
     pub(crate) ghost: Graph,
     pub(crate) alive: Vec<bool>,
@@ -67,6 +149,27 @@ pub struct ForgivingGraph {
     pub(crate) image: ImageGraph,
     pub(crate) policy: PlacementPolicy,
     pub(crate) stats: EngineStats,
+    /// Arena-compaction policy; `None` (the default) never compacts.
+    pub(crate) compaction: Option<CompactionPolicy>,
+    /// Per-phase wall-time accumulator; `None` (the default) keeps the
+    /// hot path free of clock reads.
+    pub(crate) profile: Option<PhaseTimes>,
+}
+
+/// Logical-state equality: two engines are equal when they healed to the
+/// same network — ghost, alive set, forest, image, policy and counters.
+/// Telemetry (`profile`) and configuration that cannot change behaviour
+/// (`compaction`) are excluded, as are arena gauges (see
+/// [`EngineStats`]'s own `PartialEq`).
+impl PartialEq for ForgivingGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.ghost == other.ghost
+            && self.alive == other.alive
+            && self.forest == other.forest
+            && self.image == other.image
+            && self.policy == other.policy
+            && self.stats == other.stats
+    }
 }
 
 impl ForgivingGraph {
@@ -84,7 +187,68 @@ impl ForgivingGraph {
             image: ImageGraph::new(),
             policy,
             stats: EngineStats::default(),
+            compaction: None,
+            profile: None,
         }
+    }
+
+    /// Installs (or removes, with `None`) the arena-compaction policy.
+    ///
+    /// Off by default: the seed behaviour is append-only allocation.
+    /// Turning compaction on changes only memory layout, never outcomes —
+    /// repairs, reports and query answers are bit-identical either way.
+    pub fn set_compaction(&mut self, policy: Option<CompactionPolicy>) {
+        self.compaction = policy;
+    }
+
+    /// The active arena-compaction policy, if any.
+    pub fn compaction(&self) -> Option<CompactionPolicy> {
+        self.compaction
+    }
+
+    /// Starts accumulating per-phase wall times ([`PhaseTimes`]) from
+    /// zero. Off by default so unprofiled runs never read the clock.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(PhaseTimes::default());
+    }
+
+    /// Cumulative per-phase wall times since
+    /// [`ForgivingGraph::enable_profiling`], or `None` when profiling is
+    /// off.
+    pub fn phase_times(&self) -> Option<PhaseTimes> {
+        self.profile
+    }
+
+    /// Credits the time since `*clock` to `phase` and restarts the clock.
+    /// A `None` clock (profiling off) costs one branch.
+    fn lap(&mut self, clock: &mut Option<std::time::Instant>, phase: Phase) {
+        if let (Some(times), Some(t)) = (self.profile.as_mut(), clock.as_mut()) {
+            let now = std::time::Instant::now();
+            let secs = now.duration_since(*t).as_secs_f64();
+            *t = now;
+            match phase {
+                Phase::Insert => times.insert += secs,
+                Phase::Gather => times.gather += secs,
+                Phase::Strip => times.strip += secs,
+                Phase::Plan => times.plan += secs,
+                Phase::Merge => times.merge += secs,
+            }
+        }
+    }
+
+    /// Compacts the forest arena if the policy says so, then refreshes
+    /// the arena gauges. Called at the end of every repair.
+    fn maybe_compact(&mut self) {
+        if let Some(policy) = self.compaction {
+            let live = self.forest.len();
+            let slots = self.forest.slots_ever();
+            if slots >= policy.min_slots && live as f64 <= policy.min_density * slots as f64 {
+                self.forest.compact();
+                self.stats.compactions += 1;
+            }
+        }
+        self.stats.arena_live = self.forest.len() as u64;
+        self.stats.arena_slots = self.forest.slots_ever() as u64;
     }
 
     /// Adopts an existing network as `G_0`.
@@ -240,6 +404,7 @@ impl ForgivingGraph {
         if neighbors.is_empty() {
             return Err(EngineError::EmptyNeighbourhood);
         }
+        let mut clock = self.profile.is_some().then(std::time::Instant::now);
         let mut seen = SortedSet::new();
         for &x in neighbors {
             if !seen.insert(x) {
@@ -260,6 +425,7 @@ impl ForgivingGraph {
         }
         self.stats.inserts += 1;
         self.stats.edges_added += neighbors.len() as u64;
+        self.lap(&mut clock, Phase::Insert);
         Ok(InsertReport {
             node: v,
             neighbors: neighbors.len(),
@@ -300,6 +466,7 @@ impl ForgivingGraph {
         if !self.is_alive(v) {
             return Err(EngineError::NotAlive(v));
         }
+        let mut clock = self.profile.is_some().then(std::time::Instant::now);
         let before = self.stats;
         let nodes_ever = self.nodes_ever();
         let ghost_degree = self.ghost.degree(v);
@@ -353,6 +520,7 @@ impl ForgivingGraph {
                 cur = p;
             }
         }
+        self.lap(&mut clock, Phase::Gather);
 
         // Phase 1: shatter every affected tree into fragments of complete
         // subtrees, freeing red nodes and the victim's nodes. Track which
@@ -384,6 +552,7 @@ impl ForgivingGraph {
             anchors.insert(key);
             anchor_frag.insert(key, fragments.len() - 1);
         }
+        self.lap(&mut clock, Phase::Strip);
 
         // Each fragment's bucket sits at its smallest anchor; the other
         // anchors hold empty buckets but still occupy BT_v positions
@@ -417,6 +586,7 @@ impl ForgivingGraph {
 
         // The victim must be fully detached from the image by now.
         self.image.remove_node(v);
+        self.lap(&mut clock, Phase::Plan);
 
         // Phase 2: BT_v bottom-up merge into a single reconstruction tree.
         let (rt, btv_rounds) = self.btv_merge(buckets, obs);
@@ -430,6 +600,8 @@ impl ForgivingGraph {
 
         self.stats.deletes += 1;
         self.stats.btv_rounds += u64::from(btv_rounds);
+        self.maybe_compact();
+        self.lap(&mut clock, Phase::Merge);
         let after = self.stats;
         Ok(RepairReport {
             deleted: v,

@@ -11,9 +11,12 @@
 //!
 //! Virtual nodes live in a flat **arena** (`Vec<Option<VNode>>`): a node is
 //! created by appending a slot and removed by tombstoning it (`None`).
-//! Slots are never compacted and never reused, so a living node's arena
-//! index is stable for its whole lifetime — mirroring the workspace-wide
-//! rule that [`fg_graph::NodeId`]s are never reused. Keys resolve to slots
+//! Slots are never reused, and by default never compacted, so a living
+//! node's arena index is stable for its whole lifetime — mirroring the
+//! workspace-wide rule that [`fg_graph::NodeId`]s are never reused. (An
+//! owner may opt into [`Forest::compact`] at quiescent points; arena
+//! indices are a private storage detail, so the remap is observably
+//! invisible — see DESIGN.md §12.) Keys resolve to slots
 //! through a per-owner sorted index (owners are dense ids), so a lookup is
 //! one `Vec` access plus a binary search over that owner's handful of
 //! virtual nodes, and iterating owners in order and each bucket in
@@ -81,7 +84,8 @@ impl VNode {
 /// every structural edge change into the image graph.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Forest {
-    /// Slot storage; `None` is a tombstone. Never compacted, never reused.
+    /// Slot storage; `None` is a tombstone. Slots are never reused, and
+    /// move only under an explicit [`Forest::compact`].
     arena: Vec<Option<VNode>>,
     /// Per-owner sorted key → arena-slot index.
     index: Vec<SortedMap<LocalKey, u32>>,
@@ -115,14 +119,17 @@ impl Forest {
         self.live == 0
     }
 
-    /// Total arena slots ever allocated, including tombstones — grows
-    /// monotonically; property tests assert slots are never compacted.
+    /// Current arena extent: slots allocated and not yet reclaimed by a
+    /// [`Forest::compact`], including tombstones. Grows monotonically on
+    /// the default never-compact path; `len() / slots_ever()` is the
+    /// live density the compaction policy watches.
     pub fn slots_ever(&self) -> usize {
         self.arena.len()
     }
 
     /// The arena slot currently backing `key`, if it is alive. Stable for
-    /// the whole lifetime of the node (slots never move).
+    /// the whole lifetime of the node unless the owner runs an explicit
+    /// [`Forest::compact`].
     pub fn slot_of(&self, key: VKey) -> Option<u32> {
         self.index
             .get(key.owner().index())
@@ -360,6 +367,41 @@ impl Forest {
             }
         }
         panic!("tree at {root} has no free leaf (representative invariant broken)");
+    }
+
+    /// Compacts the arena: slides every living node left (preserving
+    /// relative slot order), truncates the tombstone tail, and rewrites
+    /// the index through the slot remap. Returns the number of slots
+    /// reclaimed.
+    ///
+    /// Safe to run at any quiescent point because arena indices are a
+    /// private storage detail: [`VNode`]s reference each other through
+    /// [`VKey`]s and [`Slot`]s (never slot indices), every external
+    /// lookup goes through the index, and [`PartialEq`] already ignores
+    /// tombstone layout — so compaction is observably invisible to the
+    /// repair algorithm, the image, and every digest (DESIGN.md §12).
+    /// Only [`Forest::slots_ever`] and the slots reported by
+    /// [`Forest::slot_of`] change.
+    pub fn compact(&mut self) -> usize {
+        let before = self.arena.len();
+        let mut remap = vec![u32::MAX; before];
+        let mut write = 0usize;
+        for (read, slot) in remap.iter_mut().enumerate() {
+            if self.arena[read].is_some() {
+                *slot = write as u32;
+                if read != write {
+                    self.arena[write] = self.arena[read].take();
+                }
+                write += 1;
+            }
+        }
+        self.arena.truncate(write);
+        for bucket in &mut self.index {
+            for (_, slot) in bucket.iter_mut() {
+                *slot = remap[*slot as usize];
+            }
+        }
+        before - write
     }
 
     /// Distance in tree edges between two keys of the same tree.
@@ -665,6 +707,57 @@ mod tests {
         assert_eq!(root2, root);
         assert_eq!(f.slots_ever(), slots_before + 1);
         assert_eq!(f.slot_of(root2), Some(slots_before as u32));
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones_and_preserves_content() {
+        let (mut f, root) = sample_tree();
+        // Tear the root off to create tombstones mid-arena.
+        let h1 = s(1, 0).helper();
+        let h3 = s(3, 0).helper();
+        f.detach_child(root, h1);
+        f.detach_child(root, h3);
+        f.remove_isolated(root);
+        let reference = f.clone();
+        let live = f.len();
+        assert!(f.slots_ever() > live);
+        let reclaimed = f.compact();
+        assert_eq!(reclaimed, reference.slots_ever() - live);
+        assert_eq!(f.slots_ever(), live, "arena is dense after compaction");
+        f.validate().unwrap();
+        assert_eq!(f, reference, "living content is untouched");
+        // Relative slot order is preserved: keys keep their arena order.
+        let mut slots: Vec<u32> = Vec::new();
+        for (key, _) in reference.iter() {
+            slots.push(f.slot_of(key).unwrap());
+            assert_eq!(f.get(key), reference.get(key));
+        }
+        let mut ref_slots: Vec<(u32, u32)> = reference
+            .iter()
+            .zip(&slots)
+            .map(|((k, _), &new)| (reference.slot_of(k).unwrap(), new))
+            .collect();
+        ref_slots.sort_unstable();
+        assert!(ref_slots.windows(2).all(|w| w[0].1 < w[1].1));
+        // Compacting a dense arena is a no-op.
+        assert_eq!(f.compact(), 0);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn compaction_then_mutation_keeps_working() {
+        let (mut f, root) = sample_tree();
+        let h1 = s(1, 0).helper();
+        f.detach_child(root, h1);
+        let h3 = s(3, 0).helper();
+        f.detach_child(root, h3);
+        f.remove_isolated(root);
+        f.compact();
+        // Rebuild the root on the compacted arena.
+        let root2 = f.create_helper(s(2, 0), h1, h3, s(4, 0));
+        f.validate().unwrap();
+        assert_eq!(f.root_of(s(1, 0).real()), root2);
+        assert_eq!(f.free_leaf_of(root2).0, s(4, 0));
     }
 
     #[test]

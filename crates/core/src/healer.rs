@@ -15,8 +15,10 @@
 //! callbacks, so telemetry never needs to re-traverse the graph.
 
 use crate::api::{BatchReport, HealOutcome, HealerObserver, InsertReport, RepairReport};
+use crate::engine::{CompactionPolicy, PhaseTimes};
 use crate::error::EngineError;
 use crate::event::NetworkEvent;
+use crate::stats::EngineStats;
 use crate::view::View;
 use fg_graph::{Graph, NodeId};
 
@@ -82,6 +84,31 @@ pub trait SelfHealer {
     /// so its views are always quiescent snapshots.
     fn view(&self) -> View<'_> {
         View::over(self.image(), self.ghost())
+    }
+
+    /// Starts per-phase wall-clock profiling, for healers that support it
+    /// (see [`crate::ForgivingGraph::enable_profiling`]). The default is
+    /// a no-op so the trait stays object-safe and implementations without
+    /// a phase structure need no changes.
+    fn enable_profiling(&mut self) {}
+
+    /// Cumulative [`PhaseTimes`] since [`SelfHealer::enable_profiling`],
+    /// or `None` when unsupported or off.
+    fn phase_times(&self) -> Option<PhaseTimes> {
+        None
+    }
+
+    /// Installs an arena-compaction policy, for healers with a
+    /// tombstoned arena (see [`crate::ForgivingGraph::set_compaction`]).
+    /// The default ignores the request.
+    fn set_compaction(&mut self, _policy: Option<CompactionPolicy>) {}
+
+    /// The healer's cumulative [`EngineStats`] — lifetime counters plus
+    /// the arena occupancy gauges (`arena_live` / `arena_slots`, whose
+    /// ratio is the live/ever density compaction manages). `None` for
+    /// healers that don't keep them.
+    fn lifetime_stats(&self) -> Option<EngineStats> {
+        None
     }
 
     /// [`SelfHealer::insert`] with streaming instrumentation.
@@ -258,6 +285,22 @@ impl SelfHealer for crate::ForgivingGraph {
 
     fn is_alive(&self, v: NodeId) -> bool {
         crate::ForgivingGraph::is_alive(self, v)
+    }
+
+    fn enable_profiling(&mut self) {
+        crate::ForgivingGraph::enable_profiling(self);
+    }
+
+    fn phase_times(&self) -> Option<PhaseTimes> {
+        crate::ForgivingGraph::phase_times(self)
+    }
+
+    fn set_compaction(&mut self, policy: Option<CompactionPolicy>) {
+        crate::ForgivingGraph::set_compaction(self, policy);
+    }
+
+    fn lifetime_stats(&self) -> Option<EngineStats> {
+        Some(*self.stats())
     }
 }
 

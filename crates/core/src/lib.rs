@@ -57,13 +57,13 @@ pub use api::{
     BatchReport, HealOutcome, HealerObserver, InsertReport, NoopObserver, RepairReport,
     ReportDigest,
 };
-pub use engine::{ForgivingGraph, PlacementPolicy};
+pub use engine::{CompactionPolicy, ForgivingGraph, PhaseTimes, PlacementPolicy};
 pub use error::EngineError;
 pub use event::NetworkEvent;
 pub use forest::{Forest, VNode};
 pub use healer::SelfHealer;
 pub use image::ImageGraph;
-pub use query::{stretch_ratio, CacheStats, QueryCache, QueryOps};
+pub use query::{stretch_ratio, CacheStats, FrozenQueryCache, QueryCache, QueryOps};
 pub use slot::{Slot, VKey, VKind};
 pub use stats::EngineStats;
-pub use view::{epoch_of, GraphView, View};
+pub use view::{epoch_of, FrozenView, GraphView, QuerySide, QuerySource, View};

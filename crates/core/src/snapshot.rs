@@ -218,6 +218,7 @@ impl ForgivingGraph {
             edges_dropped: cur.u64()?,
             rep_fallbacks: cur.u64()?,
             btv_rounds: cur.u64()?,
+            ..EngineStats::default()
         };
 
         let n = cur.u32()? as usize;
@@ -310,6 +311,11 @@ impl ForgivingGraph {
             }
         }
 
+        // Arena gauges aren't on the wire (they're layout, not logic);
+        // recompute them from the decoded forest, which is fully dense.
+        let mut stats = stats;
+        stats.arena_live = forest.len() as u64;
+        stats.arena_slots = forest.slots_ever() as u64;
         let fg = ForgivingGraph {
             ghost,
             alive,
@@ -317,6 +323,8 @@ impl ForgivingGraph {
             image,
             policy,
             stats,
+            compaction: None,
+            profile: None,
         };
         fg.check_invariants()
             .map_err(|e| format!("decoded snapshot violates engine invariants: {e}"))?;

@@ -23,7 +23,8 @@
 //! [`SelfHealer`]: crate::SelfHealer
 //! [`SelfHealer::view`]: crate::SelfHealer::view
 
-use fg_graph::Graph;
+use fg_graph::traversal::{self, DistanceVec};
+use fg_graph::{FrozenCsr, Graph, NodeId};
 
 /// The structural epoch of an (image, ghost) pair:
 /// `nodes_ever + deletions_ever`.
@@ -66,6 +67,247 @@ pub trait GraphView {
     /// The structural state stamp this view was taken at (see
     /// [`epoch_of`]).
     fn epoch(&self) -> u64;
+
+    /// Publishes this view as an immutable, owned [`FrozenView`]: both
+    /// graphs are copied into [`FrozenCsr`] layout (contiguous
+    /// offsets+targets over dense live ids) under the same epoch stamp.
+    ///
+    /// Freezing costs one `O(live + edges)` pass per side and is meant
+    /// to be amortized over a whole read epoch — publish once per write
+    /// batch, serve every read in between from the frozen arrays (see
+    /// DESIGN.md §12).
+    fn freeze(&self) -> FrozenView
+    where
+        Self: Sized,
+    {
+        FrozenView {
+            image: FrozenCsr::from_graph(self.image()),
+            ghost: FrozenCsr::from_graph(self.ghost()),
+            epoch: self.epoch(),
+        }
+    }
+}
+
+/// One graph side a query can run against — the live [`Graph`] or a
+/// [`FrozenCsr`] snapshot of it. Everything [`QueryCache`] needs to
+/// build, repair and walk landmark vectors, expressed so the frozen
+/// side can answer from its dense CSR kernels while the live side keeps
+/// using [`fg_graph::traversal`].
+///
+/// Both implementations iterate neighbors in ascending id order and
+/// produce identical [`DistanceVec`]s for the same structure, which is
+/// what keeps cached answers bit-identical across the two layouts (the
+/// query differential suite asserts this along every trace).
+///
+/// [`QueryCache`]: crate::query::QueryCache
+pub trait QuerySide {
+    /// Whether `v` is live on this side.
+    fn contains(&self, v: NodeId) -> bool;
+
+    /// Full single-source BFS from `src`, indexed by
+    /// [`NodeId::index`] over the full `nodes_ever` universe.
+    fn distances_from(&self, src: NodeId) -> DistanceVec;
+
+    /// Calls `f` for each of `v`'s neighbors in ascending id order.
+    fn for_neighbors(&self, v: NodeId, f: impl FnMut(NodeId));
+
+    /// The first neighbor of `v` (ascending) satisfying `pred`.
+    fn find_neighbor(&self, v: NodeId, pred: impl FnMut(NodeId) -> bool) -> Option<NodeId>;
+}
+
+impl QuerySide for Graph {
+    fn contains(&self, v: NodeId) -> bool {
+        Graph::contains(self, v)
+    }
+
+    fn distances_from(&self, src: NodeId) -> DistanceVec {
+        traversal::bfs_distances(self, src)
+    }
+
+    fn for_neighbors(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        for w in self.neighbors(v) {
+            f(w);
+        }
+    }
+
+    fn find_neighbor(&self, v: NodeId, mut pred: impl FnMut(NodeId) -> bool) -> Option<NodeId> {
+        self.neighbors(v).find(|&w| pred(w))
+    }
+}
+
+impl QuerySide for FrozenCsr {
+    fn contains(&self, v: NodeId) -> bool {
+        FrozenCsr::contains(self, v)
+    }
+
+    fn distances_from(&self, src: NodeId) -> DistanceVec {
+        self.bfs_distances(src)
+    }
+
+    fn for_neighbors(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        for w in self.neighbors(v) {
+            f(w);
+        }
+    }
+
+    fn find_neighbor(&self, v: NodeId, mut pred: impl FnMut(NodeId) -> bool) -> Option<NodeId> {
+        self.neighbors(v).find(|&w| pred(w))
+    }
+}
+
+/// Anything a [`QueryCache`](crate::query::QueryCache) can serve from:
+/// an epoch stamp plus an image and a ghost [`QuerySide`]. Blanket-
+/// implemented for every [`GraphView`] (sides are the live graphs) and
+/// implemented for [`FrozenView`] (sides are the CSR snapshots), so the
+/// same cache code — same landmark policy, same invalidation rules,
+/// same statistics — runs against either layout.
+pub trait QuerySource {
+    /// The graph representation queries run against.
+    type Side: QuerySide;
+
+    /// The structural state stamp (see [`epoch_of`]). Named apart from
+    /// [`GraphView::epoch`] so the blanket impl below never makes
+    /// `view.epoch()` ambiguous at existing call sites.
+    fn source_epoch(&self) -> u64;
+
+    /// The healed image side.
+    fn image_side(&self) -> &Self::Side;
+
+    /// The insert-only ghost side.
+    fn ghost_side(&self) -> &Self::Side;
+}
+
+impl<T: GraphView + ?Sized> QuerySource for T {
+    type Side = Graph;
+
+    fn source_epoch(&self) -> u64 {
+        GraphView::epoch(self)
+    }
+
+    fn image_side(&self) -> &Graph {
+        self.image()
+    }
+
+    fn ghost_side(&self) -> &Graph {
+        self.ghost()
+    }
+}
+
+/// An owned, immutable, epoch-stamped snapshot of a healer's state in
+/// [`FrozenCsr`] layout — the publication unit of the freeze-and-query
+/// idiom: a writer publishes one `FrozenView` per epoch, readers pin it
+/// and answer every query from contiguous arrays without borrowing the
+/// healer.
+///
+/// `FrozenView` answers the full [`QueryOps`](crate::query::QueryOps)
+/// surface through inherent methods (it deliberately does *not*
+/// implement [`GraphView`] — there are no live `Graph`s behind it), and
+/// serves as a [`QuerySource`] for
+/// [`QueryCache`](crate::query::QueryCache), whose landmark vectors
+/// then rebuild
+/// against the CSR kernels. Answers are bit-identical to the live-view
+/// path at the same epoch.
+///
+/// # Examples
+///
+/// ```
+/// use fg_core::view::GraphView;
+/// use fg_core::query::QueryOps;
+/// use fg_core::{ForgivingGraph, SelfHealer};
+/// use fg_graph::{generators, NodeId};
+///
+/// let mut fg = ForgivingGraph::from_graph(&generators::cycle(8))?;
+/// fg.delete(NodeId::new(3))?;
+/// let frozen = fg.view().freeze();
+/// let (u, v) = (NodeId::new(2), NodeId::new(4));
+/// assert_eq!(frozen.epoch(), fg.view().epoch());
+/// assert_eq!(frozen.distance(u, v), fg.view().distance(u, v));
+/// assert_eq!(frozen.stretch(u, v), fg.view().stretch(u, v));
+/// # Ok::<(), fg_core::EngineError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenView {
+    image: FrozenCsr,
+    ghost: FrozenCsr,
+    epoch: u64,
+}
+
+impl FrozenView {
+    /// The epoch the snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen healed image `G`.
+    pub fn image(&self) -> &FrozenCsr {
+        &self.image
+    }
+
+    /// The frozen ideal graph `G'`.
+    pub fn ghost(&self) -> &FrozenCsr {
+        &self.ghost
+    }
+
+    /// Whether `u` was live in the image at this epoch.
+    pub fn alive(&self, u: NodeId) -> bool {
+        self.image.contains(u)
+    }
+
+    /// `u`'s image degree; `None` when `u` is not live. Mirrors
+    /// [`QueryOps::degree`](crate::query::QueryOps::degree).
+    pub fn degree(&self, u: NodeId) -> Option<usize> {
+        self.image.degree(u)
+    }
+
+    /// `u`'s image neighbors in increasing id order (empty when dead).
+    pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        self.image.neighbors(u).collect()
+    }
+
+    /// Exact shortest-path hops in the image, by the dense bidirectional
+    /// kernel. Mirrors [`QueryOps::distance`](crate::query::QueryOps::distance).
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        self.image.bidirectional_distance(u, v)
+    }
+
+    /// A shortest image path, node-identical to the live kernel's.
+    /// Mirrors [`QueryOps::path`](crate::query::QueryOps::path).
+    pub fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        self.image.shortest_path(u, v)
+    }
+
+    /// Whether `u` and `v` are live and mutually reachable in the image.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.distance(u, v).is_some()
+    }
+
+    /// The pair's network stretch, per
+    /// [`stretch_ratio`](crate::query::stretch_ratio). Mirrors
+    /// [`QueryOps::stretch`](crate::query::QueryOps::stretch).
+    pub fn stretch(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if !self.alive(u) || !self.alive(v) {
+            return None;
+        }
+        let ghost = self.ghost.bidirectional_distance(u, v);
+        let image = self.image.bidirectional_distance(u, v);
+        crate::query::stretch_ratio(ghost, image)
+    }
+}
+
+impl QuerySource for FrozenView {
+    type Side = FrozenCsr;
+
+    fn source_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn image_side(&self) -> &FrozenCsr {
+        &self.image
+    }
+
+    fn ghost_side(&self) -> &FrozenCsr {
+        &self.ghost
+    }
 }
 
 /// The concrete view every [`SelfHealer`](crate::SelfHealer) hands out:

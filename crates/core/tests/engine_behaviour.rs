@@ -357,3 +357,94 @@ fn stretch_bound_grows_with_nodes_ever() {
     assert_eq!(fg.nodes_ever(), 16);
     assert_eq!(fg.stretch_bound(), 4);
 }
+
+/// Drives `steps` of seeded mixed churn (balanced, so the population —
+/// and with it the forest — stays large while tombstones accumulate)
+/// and returns the repair digests.
+fn churn_digests(fg: &mut ForgivingGraph, steps: usize, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut digests = Vec::new();
+    for _ in 0..steps {
+        let alive: Vec<NodeId> = fg.image().iter().collect();
+        if alive.len() > 2 && rng.gen_bool(0.5) {
+            let v = alive[rng.gen_range(0..alive.len())];
+            digests.push(fg.delete(v).unwrap().digest());
+        } else {
+            let k = rng.gen_range(1..=3.min(alive.len()));
+            let mut nbrs = alive.clone();
+            nbrs.shuffle(&mut rng);
+            nbrs.truncate(k);
+            fg.insert(&nbrs).unwrap();
+        }
+    }
+    digests
+}
+
+#[test]
+fn compaction_changes_layout_but_never_behaviour() {
+    use fg_core::CompactionPolicy;
+
+    let g = generators::barabasi_albert(256, 2, 11);
+    let mut plain = ForgivingGraph::from_graph(&g).unwrap();
+    let mut compacted = ForgivingGraph::from_graph(&g).unwrap();
+    compacted.set_compaction(Some(CompactionPolicy::default()));
+
+    let da = churn_digests(&mut plain, 2000, 4242);
+    let db = churn_digests(&mut compacted, 2000, 4242);
+    assert_eq!(da, db, "repair digests must be bit-identical");
+    assert_eq!(plain, compacted, "logical state must be identical");
+    plain.check_invariants().unwrap();
+    compacted.check_invariants().unwrap();
+
+    // Compaction actually happened, and kept the arena dense. The arena
+    // is large enough that the min_slots floor is not what's keeping the
+    // density up.
+    assert!(compacted.stats().arena_slots >= 64);
+    assert!(compacted.stats().compactions > 0);
+    assert!(plain.stats().compactions == 0);
+    assert!(
+        compacted.stats().arena_density() > 0.5,
+        "post-churn live/ever slot ratio {:.3} must exceed the threshold",
+        compacted.stats().arena_density()
+    );
+    assert!(
+        plain.stats().arena_density() < compacted.stats().arena_density(),
+        "without compaction the arena only decays"
+    );
+
+    // Identical answers too, not just identical state.
+    use fg_core::{QueryOps, SelfHealer};
+    let (va, vb) = (plain.view(), compacted.view());
+    for u in plain.image().iter().take(16) {
+        for w in plain.image().iter().take(16) {
+            assert_eq!(va.distance(u, w), vb.distance(u, w));
+        }
+    }
+}
+
+#[test]
+fn profiling_accounts_phase_time_only_when_enabled() {
+    let mut fg = ForgivingGraph::from_graph(&generators::barabasi_albert(64, 2, 3)).unwrap();
+    assert_eq!(fg.phase_times(), None, "off by default");
+    churn_digests(&mut fg, 50, 9);
+    assert_eq!(fg.phase_times(), None);
+
+    fg.enable_profiling();
+    let digests = churn_digests(&mut fg, 50, 10);
+    let times = fg.phase_times().expect("profiling is on");
+    assert!(!digests.is_empty());
+    assert!(
+        times.gather + times.strip + times.plan + times.merge > 0.0,
+        "deletions must land in the delete phases"
+    );
+    assert!(times.insert >= 0.0);
+    assert_eq!(times.total(), {
+        times.insert + times.gather + times.strip + times.plan + times.merge
+    });
+
+    // Profiling is telemetry: it never affects logical equality.
+    let mut twin = ForgivingGraph::from_graph(&generators::barabasi_albert(64, 2, 3)).unwrap();
+    churn_digests(&mut twin, 50, 9);
+    churn_digests(&mut twin, 50, 10);
+    assert_eq!(fg, twin);
+}

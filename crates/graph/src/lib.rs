@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 mod dot;
 mod error;
 pub mod generators;
@@ -34,6 +35,7 @@ mod sorted;
 pub mod traversal;
 mod unionfind;
 
+pub use csr::FrozenCsr;
 pub use dot::dot_string;
 pub use error::GraphError;
 pub use graph::Graph;

@@ -445,6 +445,22 @@ impl<H: Persistable> SelfHealer for DurableHealer<H> {
         self.inner.is_alive(v)
     }
 
+    fn enable_profiling(&mut self) {
+        self.inner.enable_profiling();
+    }
+
+    fn phase_times(&self) -> Option<fg_core::PhaseTimes> {
+        self.inner.phase_times()
+    }
+
+    fn set_compaction(&mut self, policy: Option<fg_core::CompactionPolicy>) {
+        self.inner.set_compaction(policy);
+    }
+
+    fn lifetime_stats(&self) -> Option<fg_core::EngineStats> {
+        self.inner.lifetime_stats()
+    }
+
     fn apply_batch(&mut self, events: &[NetworkEvent]) -> Result<BatchReport, EngineError> {
         let mut batch = BatchReport::new();
         let mut records = Vec::with_capacity(events.len());

@@ -1,20 +1,29 @@
 //! Query service quickstart: serve distance/path/stretch reads from a
-//! self-healing network while an adversary churns it.
+//! self-healing network while an adversary churns it — off **frozen
+//! epoch snapshots**, the way a real read tier would.
 //!
 //! The read side of the API: any [`SelfHealer`] hands out epoch-stamped
-//! snapshot views (`view()`), every view answers `QueryOps` reads
-//! exactly, and a [`QueryCache`] — incrementally invalidated by the
-//! write path's own typed outcomes — serves hot sources in O(1) instead
-//! of one BFS per query.
+//! snapshot views (`view()`); `view().freeze()` publishes the epoch as
+//! an immutable [`FrozenView`] — a compressed-sparse-row copy of the
+//! live structure with bitset BFS kernels — that answers the same reads
+//! bit-identically while the writer moves on. For a long-running
+//! service, the [`FrozenQueryCache`] tier goes one step further: it
+//! *owns* its snapshot. Each write batch costs one `note_batch` (the
+//! persistent ghost-side landmark state folds the inserts and relaxes
+//! back to exactness in place — the ghost is never re-frozen) and one
+//! image-only `publish`; every read in the round is then answered from
+//! dense landmark memos over the frozen arrays, with no reference back
+//! into the writer's data structures at all.
 //!
 //! ```bash
 //! cargo run --example query_service
 //! ```
 //!
 //! [`SelfHealer`]: fg_core::SelfHealer
-//! [`QueryCache`]: fg_core::QueryCache
+//! [`FrozenView`]: fg_core::FrozenView
+//! [`FrozenQueryCache`]: fg_core::FrozenQueryCache
 
-use fg_core::{GraphView, PlacementPolicy, QueryCache, QueryOps, SelfHealer};
+use fg_core::{FrozenQueryCache, PlacementPolicy, QueryOps, SelfHealer};
 use fg_dist::DistHealer;
 use fg_graph::{generators, NodeId};
 
@@ -24,24 +33,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // picture of the message-passing protocol's state.
     let g0 = generators::barabasi_albert(96, 2, 7);
     let mut network = DistHealer::from_graph(&g0, PlacementPolicy::Adjacent);
-    let mut cache = QueryCache::new(64);
+    let mut tier = FrozenQueryCache::new(64);
+    tier.publish(&network.view());
 
     // Two "popular" endpoints our imaginary users keep asking about.
     let (a, b) = (NodeId::new(40), NodeId::new(90));
-    {
-        let view = network.view();
-        println!(
-            "epoch {}: dist({a}, {b}) = {:?} via {:?}",
-            view.epoch(),
-            view.distance(a, b),
-            view.path(a, b),
-        );
-    }
+    println!(
+        "epoch {:?}: published — dist({a}, {b}) = {:?} via {:?}",
+        tier.epoch(),
+        tier.distance(a, b),
+        tier.path(a, b),
+    );
 
     // Adversarial churn: kill the biggest hub, let two peers join, and
-    // keep serving reads from the same cache throughout. Each write's
-    // typed outcome feeds the cache, so landmarks are repaired in place
-    // (insertions relax, deletions drop only what the victim touched).
+    // keep serving reads throughout. Each write's typed outcome feeds
+    // the tier's persistent ghost state; each round then publishes ONE
+    // image-only snapshot and serves every read of the round from it.
     for round in 0..4 {
         let hub = {
             let image = SelfHealer::image(&network);
@@ -52,33 +59,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let event = fg_core::NetworkEvent::delete(hub);
         let outcome = network.apply_event(&event)?;
-        cache.note_event(&network.view(), &event, &outcome);
+        tier.note_event(&network.view(), &event, &outcome);
 
         let event = fg_core::NetworkEvent::insert([a, b]);
         let outcome = network.apply_event(&event)?;
-        cache.note_event(&network.view(), &event, &outcome);
+        tier.note_event(&network.view(), &event, &outcome);
 
-        let view = network.view();
-        let (d, s) = (cache.distance(&view, a, b), cache.stretch(&view, a, b));
+        // Publish the round's epoch once; serve everything from it.
+        tier.publish(&network.view());
+        let (d, s) = (tier.distance(a, b), tier.stretch(a, b));
         println!(
-            "round {round}: killed hub {hub}, epoch {} — cached dist({a}, {b}) = {d:?}, \
-             stretch = {}",
-            view.epoch(),
+            "round {round}: killed hub {hub}, epoch {:?} — \
+             frozen dist({a}, {b}) = {d:?}, stretch = {}",
+            tier.epoch(),
             s.map_or("n/a".into(), |s| format!("{s:.2}")),
         );
-        // The cache is exact by construction: same answer as a fresh
-        // bidirectional BFS on the snapshot.
-        assert_eq!(d, view.distance(a, b));
-        assert_eq!(
-            cache.path(&view, a, b).map(|p| p.len()),
-            d.map(|d| d as usize + 1)
-        );
+
+        // The tier is exact by construction: every scalar equals a
+        // fresh BFS on the live snapshot, and paths are valid shortest
+        // paths over the published image.
+        let live = network.view();
+        assert_eq!(d, live.distance(a, b));
+        assert_eq!(s, live.stretch(a, b));
+        assert_eq!(tier.path(a, b).map(|p| p.len()), d.map(|d| d as usize + 1));
     }
 
-    let stats = cache.stats();
+    let stats = tier.stats();
     println!(
-        "served with {} hits / {} misses ({} landmarks repaired in place, {} dropped)",
-        stats.hits, stats.misses, stats.repaired, stats.dropped
+        "served with {} hits / {} misses ({} ghost landmarks relaxed in place, {} flushes)",
+        stats.hits, stats.misses, stats.repaired, stats.flushes
     );
     Ok(())
 }

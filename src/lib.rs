@@ -61,9 +61,9 @@ pub mod prelude {
         WORKLOADS,
     };
     pub use fg_core::{
-        stretch_ratio, BatchReport, CacheStats, EngineError, ForgivingGraph, GraphView,
-        HealOutcome, HealerObserver, InsertReport, NetworkEvent, NoopObserver, PlacementPolicy,
-        QueryCache, QueryOps, RepairReport, SelfHealer, View,
+        stretch_ratio, BatchReport, CacheStats, EngineError, ForgivingGraph, FrozenQueryCache,
+        GraphView, HealOutcome, HealerObserver, InsertReport, NetworkEvent, NoopObserver,
+        PlacementPolicy, QueryCache, QueryOps, RepairReport, SelfHealer, View,
     };
     pub use fg_dist::{DistHealer, Network, RepairCost};
     pub use fg_graph::{Graph, NodeId};
