@@ -23,6 +23,7 @@
 
 pub mod args;
 pub mod json;
+pub mod latency;
 pub mod queries;
 pub mod replay;
 pub mod scenario;
@@ -31,7 +32,11 @@ use fg_core::{ForgivingGraph, PlacementPolicy};
 use fg_graph::Graph;
 
 pub use args::BenchArgs;
-pub use queries::{QueryKind, QueryMix, QueryStats, QueryWorkload, QUERY_KINDS};
+pub use latency::LatencyHistogram;
+pub use queries::{
+    answer_api, answers_agree, Answer, Query, QueryKind, QueryMix, QueryStats, QueryStream,
+    QueryWorkload, QUERY_KINDS,
+};
 pub use scenario::{scenario, MixedRunResult, RunResult, Scenario, ScenarioRunner, WORKLOADS};
 
 /// The standard workload families the sweeps use.

@@ -193,9 +193,12 @@ impl QueryWorkload {
 
 /// One generated query.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Query {
+pub struct Query {
+    /// Which read op to issue.
     pub kind: QueryKind,
+    /// The source endpoint (drawn from the hot set when one is active).
     pub u: NodeId,
+    /// The target endpoint (uniform over the live nodes).
     pub v: NodeId,
 }
 
@@ -204,7 +207,7 @@ pub(crate) struct Query {
 /// persistent, the way real read traffic concentrates on the same nodes
 /// across many writes. Hot nodes that die are replaced (seeded rng picks
 /// from the live set); targets are uniform over the live nodes.
-pub(crate) struct QueryStream {
+pub struct QueryStream {
     rng: ChaCha8Rng,
     mix: QueryMix,
     hot: usize,
@@ -212,7 +215,8 @@ pub(crate) struct QueryStream {
 }
 
 impl QueryStream {
-    pub(crate) fn new(wl: &QueryWorkload) -> QueryStream {
+    /// A stream over `wl`'s mix, seed and hot-set size.
+    pub fn new(wl: &QueryWorkload) -> QueryStream {
         QueryStream {
             rng: ChaCha8Rng::seed_from_u64(wl.seed),
             mix: wl.mix.clone(),
@@ -222,7 +226,7 @@ impl QueryStream {
     }
 
     /// Generates `count` queries against the current live node set.
-    pub(crate) fn block(&mut self, image: &Graph, count: usize) -> Vec<Query> {
+    pub fn block(&mut self, image: &Graph, count: usize) -> Vec<Query> {
         let live: Vec<NodeId> = image.iter().collect();
         if live.is_empty() || count == 0 {
             return Vec::new();
@@ -259,18 +263,23 @@ impl QueryStream {
 /// One query's answer — held so the cached and naive passes can be
 /// compared after both are timed.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Answer {
+pub enum Answer {
+    /// A [`QueryKind::Distance`] answer.
     Dist(Option<u32>),
+    /// A [`QueryKind::Path`] answer.
     Path(Option<Vec<NodeId>>),
+    /// A [`QueryKind::Stretch`] answer.
     Stretch(Option<f64>),
+    /// A [`QueryKind::Degree`] answer.
     Degree(Option<usize>),
+    /// A [`QueryKind::Component`] answer.
     Component(bool),
 }
 
 impl Answer {
     /// Whether the query produced a usable answer (reachable pair, live
     /// node).
-    pub(crate) fn answered(&self) -> bool {
+    pub fn answered(&self) -> bool {
         match self {
             Answer::Dist(d) => d.is_some(),
             Answer::Path(p) => p.is_some(),
@@ -311,8 +320,10 @@ pub(crate) fn answer_frozen(tier: &mut FrozenQueryCache, q: &Query) -> Answer {
 }
 
 /// The uncached query API: `QueryOps` per-pair reads (bidirectional BFS,
-/// no landmark state). The middle tier of the three measured read paths.
-pub(crate) fn answer_api(view: &impl GraphView, q: &Query) -> Answer {
+/// no landmark state). The middle tier of the three measured read paths,
+/// and the in-process reference the served (`fg-serve`) differential
+/// harnesses compare against.
+pub fn answer_api(view: &impl GraphView, q: &Query) -> Answer {
     match q.kind {
         QueryKind::Distance => Answer::Dist(view.distance(q.u, q.v)),
         QueryKind::Path => Answer::Path(view.path(q.u, q.v)),
@@ -370,7 +381,7 @@ pub(crate) fn answer_naive(view: &impl GraphView, q: &Query) -> Answer {
 /// node-identical — they must exist iff the other does, be equally
 /// short, connect the right endpoints, and walk real image edges (both
 /// sides are validated).
-pub(crate) fn answers_agree(q: &Query, a: &Answer, b: &Answer, image: &Graph) -> bool {
+pub fn answers_agree(q: &Query, a: &Answer, b: &Answer, image: &Graph) -> bool {
     fn valid_path(q: &Query, p: &[NodeId], image: &Graph) -> bool {
         p.first() == Some(&q.u)
             && p.last() == Some(&q.v)

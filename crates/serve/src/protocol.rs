@@ -1,0 +1,714 @@
+//! FGQ1 — the length-prefixed binary query protocol.
+//!
+//! ## Frame format
+//!
+//! Every message in either direction is one CRC-framed record, exactly
+//! like the WAL's (`fg_store::wal`):
+//!
+//! ```text
+//! [len: u32 LE][crc: u32 LE][payload]
+//! ```
+//!
+//! `len` is the payload length (bounded by [`MAX_FRAME_PAYLOAD`]); `crc`
+//! is CRC-32 (IEEE) over the payload. A frame whose length prefix is
+//! oversized, whose checksum fails, or whose payload violates the rules
+//! below is *malformed*: the server answers with a typed error frame and
+//! closes the connection — it never panics and never guesses.
+//!
+//! ## Request payload
+//!
+//! ```text
+//! [magic "FGQ1": 4B][version: u8][request id: u64 LE][op: u8][args]
+//! ```
+//!
+//! Ops and their args (node ids are `u32 LE`):
+//!
+//! | tag | op              | args    |
+//! |-----|-----------------|---------|
+//! | 0   | epoch           | —       |
+//! | 1   | distance        | `u, v`  |
+//! | 2   | path            | `u, v`  |
+//! | 3   | stretch         | `u, v`  |
+//! | 4   | degree          | `u`     |
+//! | 5   | neighbors       | `u`     |
+//! | 6   | same-component  | `u, v`  |
+//!
+//! ## Response payload
+//!
+//! ```text
+//! [magic][version][request id: u64][status: u8][epoch: u64][digest: u64][body]
+//! ```
+//!
+//! `status` 0 is success; the body then repeats the op tag followed by
+//! the op-specific result (optional values are a presence byte, node
+//! lists are a `u32` count then ids). Any other `status` is an
+//! [`ErrorCode`] and the body is a `u16`-length-prefixed UTF-8 message.
+//! **Every** response — success or error — carries the `(epoch, digest)`
+//! stamp of the snapshot that answered it (zeros when no snapshot was
+//! ever published), the certificate replication will check against the
+//! master's committed history.
+
+use crate::error::ServeError;
+use fg_graph::NodeId;
+use fg_store::crc32;
+
+/// The four magic bytes opening every FGQ1 payload.
+pub const MAGIC: [u8; 4] = *b"FGQ1";
+
+/// The protocol version this crate speaks.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a sane frame payload; a length prefix past this is
+/// framing garbage and the connection is closed without buffering it.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Smallest well-formed request payload: magic + version + id + op.
+pub const MIN_REQUEST_PAYLOAD: usize = 4 + 1 + 8 + 1;
+
+/// The machine-readable error classes a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Framing violation: bad CRC, truncated payload, or garbage where
+    /// a frame header should be. The connection closes after this frame.
+    Malformed = 1,
+    /// The payload does not open with `FGQ1` at a version this server
+    /// speaks. The connection closes after this frame.
+    BadMagic = 2,
+    /// The op tag is not one this server knows.
+    UnknownOp = 3,
+    /// The op's argument bytes are truncated or carry trailing garbage.
+    BadPayload = 4,
+    /// The server is shutting down and will not answer.
+    ShuttingDown = 5,
+    /// The frame's length prefix exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversized = 6,
+}
+
+impl ErrorCode {
+    /// Decodes a status byte into an error code, if it is one.
+    pub fn from_status(status: u8) -> Option<ErrorCode> {
+        match status {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::BadMagic),
+            3 => Some(ErrorCode::UnknownOp),
+            4 => Some(ErrorCode::BadPayload),
+            5 => Some(ErrorCode::ShuttingDown),
+            6 => Some(ErrorCode::Oversized),
+            _ => None,
+        }
+    }
+}
+
+/// One query request — the client-side view of the ops table above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// The snapshot epoch the server is currently answering at.
+    Epoch,
+    /// Exact shortest-path hops between two nodes in the healed image.
+    Distance(NodeId, NodeId),
+    /// A concrete shortest image path between two nodes.
+    Path(NodeId, NodeId),
+    /// Image distance over ghost (`G'`) distance for a pair.
+    Stretch(NodeId, NodeId),
+    /// A node's image degree.
+    Degree(NodeId),
+    /// A node's image neighbors, ascending.
+    Neighbors(NodeId),
+    /// Whether two nodes are live and mutually reachable.
+    SameComponent(NodeId, NodeId),
+}
+
+impl Request {
+    /// This request's op tag.
+    pub fn op(&self) -> u8 {
+        match self {
+            Request::Epoch => 0,
+            Request::Distance(..) => 1,
+            Request::Path(..) => 2,
+            Request::Stretch(..) => 3,
+            Request::Degree(..) => 4,
+            Request::Neighbors(..) => 5,
+            Request::SameComponent(..) => 6,
+        }
+    }
+
+    /// The framed wire bytes of this request under `request_id`.
+    pub fn to_frame(&self, request_id: u64) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(MIN_REQUEST_PAYLOAD + 8);
+        payload.extend_from_slice(&MAGIC);
+        payload.push(VERSION);
+        payload.extend_from_slice(&request_id.to_le_bytes());
+        payload.push(self.op());
+        match self {
+            Request::Epoch => {}
+            Request::Degree(u) | Request::Neighbors(u) => {
+                payload.extend_from_slice(&u.raw().to_le_bytes());
+            }
+            Request::Distance(u, v)
+            | Request::Path(u, v)
+            | Request::Stretch(u, v)
+            | Request::SameComponent(u, v) => {
+                payload.extend_from_slice(&u.raw().to_le_bytes());
+                payload.extend_from_slice(&v.raw().to_le_bytes());
+            }
+        }
+        frame(&payload)
+    }
+
+    /// Parses a request payload (the bytes inside a verified frame).
+    ///
+    /// # Errors
+    ///
+    /// The [`ErrorCode`] the server must answer with, plus a
+    /// human-readable detail: [`ErrorCode::BadMagic`] when the payload
+    /// does not open with `FGQ1` at [`VERSION`], [`ErrorCode::UnknownOp`]
+    /// for an unassigned op tag, and [`ErrorCode::BadPayload`] for
+    /// truncated or over-long argument bytes. When the request id was
+    /// readable before the failure it is returned alongside, so the
+    /// error frame can echo it.
+    pub fn parse(payload: &[u8]) -> Result<(u64, Request), (Option<u64>, ErrorCode, String)> {
+        if payload.len() < MIN_REQUEST_PAYLOAD {
+            return Err((
+                None,
+                ErrorCode::BadPayload,
+                format!(
+                    "request payload is {} bytes; the fixed header alone is {MIN_REQUEST_PAYLOAD}",
+                    payload.len()
+                ),
+            ));
+        }
+        if payload[..4] != MAGIC {
+            return Err((
+                None,
+                ErrorCode::BadMagic,
+                format!("payload opens with {:02x?}, not \"FGQ1\"", &payload[..4]),
+            ));
+        }
+        if payload[4] != VERSION {
+            return Err((
+                None,
+                ErrorCode::BadMagic,
+                format!(
+                    "protocol version {} (this server speaks {VERSION})",
+                    payload[4]
+                ),
+            ));
+        }
+        let id = u64::from_le_bytes(payload[5..13].try_into().expect("8 bytes"));
+        let op = payload[13];
+        let args = &payload[14..];
+        let one = |args: &[u8]| -> Result<NodeId, String> {
+            if args.len() != 4 {
+                return Err(format!(
+                    "op {op} takes one node id (4 bytes), got {}",
+                    args.len()
+                ));
+            }
+            Ok(NodeId::new(u32::from_le_bytes(
+                args.try_into().expect("4 bytes"),
+            )))
+        };
+        let two = |args: &[u8]| -> Result<(NodeId, NodeId), String> {
+            if args.len() != 8 {
+                return Err(format!(
+                    "op {op} takes two node ids (8 bytes), got {}",
+                    args.len()
+                ));
+            }
+            Ok((
+                NodeId::new(u32::from_le_bytes(args[..4].try_into().expect("4 bytes"))),
+                NodeId::new(u32::from_le_bytes(args[4..].try_into().expect("4 bytes"))),
+            ))
+        };
+        let request = match op {
+            0 => {
+                if args.is_empty() {
+                    Ok(Request::Epoch)
+                } else {
+                    Err(format!("epoch takes no args, got {} bytes", args.len()))
+                }
+            }
+            1 => two(args).map(|(u, v)| Request::Distance(u, v)),
+            2 => two(args).map(|(u, v)| Request::Path(u, v)),
+            3 => two(args).map(|(u, v)| Request::Stretch(u, v)),
+            4 => one(args).map(Request::Degree),
+            5 => one(args).map(Request::Neighbors),
+            6 => two(args).map(|(u, v)| Request::SameComponent(u, v)),
+            other => {
+                return Err((
+                    Some(id),
+                    ErrorCode::UnknownOp,
+                    format!("unknown op tag {other}"),
+                ))
+            }
+        };
+        match request {
+            Ok(r) => Ok((id, r)),
+            Err(detail) => Err((Some(id), ErrorCode::BadPayload, detail)),
+        }
+    }
+}
+
+/// A successful response's op-specific result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Answer to [`Request::Epoch`] — the stamp in the header is the
+    /// answer.
+    Epoch,
+    /// Answer to [`Request::Distance`].
+    Distance(Option<u32>),
+    /// Answer to [`Request::Path`].
+    Path(Option<Vec<NodeId>>),
+    /// Answer to [`Request::Stretch`].
+    Stretch(Option<f64>),
+    /// Answer to [`Request::Degree`].
+    Degree(Option<u64>),
+    /// Answer to [`Request::Neighbors`] (`None` when the node is dead).
+    Neighbors(Option<Vec<NodeId>>),
+    /// Answer to [`Request::SameComponent`].
+    SameComponent(bool),
+}
+
+impl ResponseBody {
+    /// The op tag this body answers.
+    pub fn op(&self) -> u8 {
+        match self {
+            ResponseBody::Epoch => 0,
+            ResponseBody::Distance(_) => 1,
+            ResponseBody::Path(_) => 2,
+            ResponseBody::Stretch(_) => 3,
+            ResponseBody::Degree(_) => 4,
+            ResponseBody::Neighbors(_) => 5,
+            ResponseBody::SameComponent(_) => 6,
+        }
+    }
+}
+
+/// One decoded response frame: the request it answers, the snapshot
+/// certificate, and either a result body or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id this frame answers (0 when the server
+    /// could not read one out of a malformed request).
+    pub request_id: u64,
+    /// The epoch of the snapshot that answered (0 before any publish).
+    pub epoch: u64,
+    /// The chained outcome digest of that snapshot (see
+    /// [`crate::snapshot::ServeSnapshot`]).
+    pub digest: u64,
+    /// The result, or the typed error the server answered with.
+    pub body: Result<ResponseBody, (ErrorCode, String)>,
+}
+
+impl Response {
+    /// Encodes a success response into framed wire bytes.
+    pub fn ok_frame(request_id: u64, epoch: u64, digest: u64, body: &ResponseBody) -> Vec<u8> {
+        let mut payload = response_header(request_id, 0, epoch, digest);
+        payload.push(body.op());
+        fn push_ids(payload: &mut Vec<u8>, ids: &[NodeId]) {
+            payload.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for id in ids {
+                payload.extend_from_slice(&id.raw().to_le_bytes());
+            }
+        }
+        match body {
+            ResponseBody::Epoch => {}
+            ResponseBody::Distance(d) => match d {
+                Some(d) => {
+                    payload.push(1);
+                    payload.extend_from_slice(&d.to_le_bytes());
+                }
+                None => payload.push(0),
+            },
+            ResponseBody::Path(p) | ResponseBody::Neighbors(p) => match p {
+                Some(ids) => {
+                    payload.push(1);
+                    push_ids(&mut payload, ids);
+                }
+                None => payload.push(0),
+            },
+            ResponseBody::Stretch(s) => match s {
+                Some(s) => {
+                    payload.push(1);
+                    payload.extend_from_slice(&s.to_bits().to_le_bytes());
+                }
+                None => payload.push(0),
+            },
+            ResponseBody::Degree(d) => match d {
+                Some(d) => {
+                    payload.push(1);
+                    payload.extend_from_slice(&d.to_le_bytes());
+                }
+                None => payload.push(0),
+            },
+            ResponseBody::SameComponent(c) => payload.push(u8::from(*c)),
+        }
+        frame(&payload)
+    }
+
+    /// Encodes a typed error response into framed wire bytes.
+    pub fn error_frame(
+        request_id: u64,
+        epoch: u64,
+        digest: u64,
+        code: ErrorCode,
+        message: &str,
+    ) -> Vec<u8> {
+        let mut payload = response_header(request_id, code as u8, epoch, digest);
+        let msg = message.as_bytes();
+        let take = msg.len().min(u16::MAX as usize);
+        payload.extend_from_slice(&(take as u16).to_le_bytes());
+        payload.extend_from_slice(&msg[..take]);
+        frame(&payload)
+    }
+
+    /// Parses a response payload (the bytes inside a verified frame).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] when the payload violates the response
+    /// rules — the transport gave us a well-framed record that is not a
+    /// well-formed FGQ1 response.
+    pub fn parse(payload: &[u8]) -> Result<Response, ServeError> {
+        let mut c = Dec::new(payload);
+        let magic = c.bytes(4)?;
+        if magic != MAGIC {
+            return Err(ServeError::Malformed(format!(
+                "response opens with {magic:02x?}, not \"FGQ1\""
+            )));
+        }
+        let version = c.u8()?;
+        if version != VERSION {
+            return Err(ServeError::Malformed(format!(
+                "response version {version} (this client speaks {VERSION})"
+            )));
+        }
+        let request_id = c.u64()?;
+        let status = c.u8()?;
+        let epoch = c.u64()?;
+        let digest = c.u64()?;
+        if status != 0 {
+            let code = ErrorCode::from_status(status)
+                .ok_or_else(|| ServeError::Malformed(format!("unknown error status {status}")))?;
+            let len = c.u16()? as usize;
+            let message = String::from_utf8_lossy(c.bytes(len)?).into_owned();
+            c.finish()?;
+            return Ok(Response {
+                request_id,
+                epoch,
+                digest,
+                body: Err((code, message)),
+            });
+        }
+        let op = c.u8()?;
+        let body = match op {
+            0 => ResponseBody::Epoch,
+            1 => ResponseBody::Distance(match c.u8()? {
+                0 => None,
+                1 => Some(c.u32()?),
+                other => return Err(bad_presence(other)),
+            }),
+            2 => ResponseBody::Path(c.opt_ids()?),
+            3 => ResponseBody::Stretch(match c.u8()? {
+                0 => None,
+                1 => Some(f64::from_bits(c.u64()?)),
+                other => return Err(bad_presence(other)),
+            }),
+            4 => ResponseBody::Degree(match c.u8()? {
+                0 => None,
+                1 => Some(c.u64()?),
+                other => return Err(bad_presence(other)),
+            }),
+            5 => ResponseBody::Neighbors(c.opt_ids()?),
+            6 => ResponseBody::SameComponent(match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(bad_presence(other)),
+            }),
+            other => {
+                return Err(ServeError::Malformed(format!(
+                    "response carries unknown op tag {other}"
+                )))
+            }
+        };
+        c.finish()?;
+        Ok(Response {
+            request_id,
+            epoch,
+            digest,
+            body: Ok(body),
+        })
+    }
+}
+
+fn bad_presence(byte: u8) -> ServeError {
+    ServeError::Malformed(format!("presence byte must be 0 or 1, got {byte}"))
+}
+
+fn response_header(request_id: u64, status: u8, epoch: u64, digest: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + 1 + 8 + 1 + 8 + 8 + 16);
+    payload.extend_from_slice(&MAGIC);
+    payload.push(VERSION);
+    payload.extend_from_slice(&request_id.to_le_bytes());
+    payload.push(status);
+    payload.extend_from_slice(&epoch.to_le_bytes());
+    payload.extend_from_slice(&digest.to_le_bytes());
+    payload
+}
+
+/// Wraps a payload in the `[len][crc]` frame header.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+/// Validates a frame header, returning the payload length to read.
+///
+/// # Errors
+///
+/// [`ErrorCode::Oversized`] (with detail) when the length prefix
+/// exceeds [`MAX_FRAME_PAYLOAD`] — the one violation detectable before
+/// reading the payload.
+pub fn parse_frame_header(header: [u8; 8]) -> Result<(usize, u32), (ErrorCode, String)> {
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err((
+            ErrorCode::Oversized,
+            format!("length prefix {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"),
+        ));
+    }
+    Ok((len, crc))
+}
+
+/// Verifies a frame payload against its header checksum.
+///
+/// # Errors
+///
+/// [`ErrorCode::Malformed`] (with detail) on a CRC mismatch.
+pub fn verify_frame(payload: &[u8], crc: u32) -> Result<(), (ErrorCode, String)> {
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err((
+            ErrorCode::Malformed,
+            format!("payload CRC {actual:#010x} does not match header {crc:#010x}"),
+        ));
+    }
+    Ok(())
+}
+
+/// A bounds-checked little-endian payload reader.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(ServeError::Malformed(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        };
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// `[presence][count][ids...]` — the optional node-list shape.
+    fn opt_ids(&mut self) -> Result<Option<Vec<NodeId>>, ServeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let count = self.u32()? as usize;
+                // Each id is 4 bytes; the bound keeps a lying count from
+                // allocating past the frame it arrived in.
+                if count * 4 > self.buf.len() - self.pos {
+                    return Err(ServeError::Malformed(format!(
+                        "node list claims {count} ids but only {} payload bytes remain",
+                        self.buf.len() - self.pos
+                    )));
+                }
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(NodeId::new(self.u32()?));
+                }
+                Ok(Some(ids))
+            }
+            other => Err(bad_presence(other)),
+        }
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn finish(self) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Malformed(format!(
+                "{} trailing bytes after a complete payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn payload_of(frame: &[u8]) -> &[u8] {
+        &frame[8..]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Epoch,
+            Request::Distance(n(3), n(9)),
+            Request::Path(n(0), n(4)),
+            Request::Stretch(n(7), n(7)),
+            Request::Degree(n(2)),
+            Request::Neighbors(n(11)),
+            Request::SameComponent(n(1), n(5)),
+        ];
+        for (i, req) in cases.into_iter().enumerate() {
+            let framed = req.to_frame(i as u64 + 40);
+            let (len, crc) = parse_frame_header(framed[..8].try_into().unwrap()).unwrap();
+            assert_eq!(len, framed.len() - 8);
+            verify_frame(payload_of(&framed), crc).unwrap();
+            let (id, parsed) = Request::parse(payload_of(&framed)).unwrap();
+            assert_eq!(id, i as u64 + 40);
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let bodies = [
+            ResponseBody::Epoch,
+            ResponseBody::Distance(Some(17)),
+            ResponseBody::Distance(None),
+            ResponseBody::Path(Some(vec![n(1), n(2), n(3)])),
+            ResponseBody::Path(None),
+            ResponseBody::Stretch(Some(1.5)),
+            ResponseBody::Stretch(Some(f64::INFINITY)),
+            ResponseBody::Stretch(None),
+            ResponseBody::Degree(Some(4)),
+            ResponseBody::Degree(None),
+            ResponseBody::Neighbors(Some(Vec::new())),
+            ResponseBody::Neighbors(None),
+            ResponseBody::SameComponent(true),
+            ResponseBody::SameComponent(false),
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let framed = Response::ok_frame(i as u64, 99, 0xdead_beef, &body);
+            let (len, crc) = parse_frame_header(framed[..8].try_into().unwrap()).unwrap();
+            assert_eq!(len, framed.len() - 8);
+            verify_frame(payload_of(&framed), crc).unwrap();
+            let parsed = Response::parse(payload_of(&framed)).unwrap();
+            assert_eq!(parsed.request_id, i as u64);
+            assert_eq!(parsed.epoch, 99);
+            assert_eq!(parsed.digest, 0xdead_beef);
+            assert_eq!(parsed.body, Ok(body));
+        }
+    }
+
+    #[test]
+    fn error_frames_round_trip() {
+        let framed = Response::error_frame(7, 12, 34, ErrorCode::UnknownOp, "op tag 250");
+        let parsed = Response::parse(payload_of(&framed)).unwrap();
+        assert_eq!(parsed.request_id, 7);
+        assert_eq!(parsed.epoch, 12);
+        assert_eq!(
+            parsed.body,
+            Err((ErrorCode::UnknownOp, "op tag 250".to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_classified() {
+        // Too short for the fixed header.
+        let (_, code, _) = Request::parse(b"FGQ1").unwrap_err();
+        assert_eq!(code, ErrorCode::BadPayload);
+        // Wrong magic.
+        let mut framed = Request::Epoch.to_frame(1);
+        framed[8] = b'X';
+        let (_, code, _) = Request::parse(payload_of(&framed)).unwrap_err();
+        assert_eq!(code, ErrorCode::BadMagic);
+        // Wrong version.
+        let mut framed = Request::Epoch.to_frame(1);
+        framed[12] = 9;
+        let (_, code, _) = Request::parse(payload_of(&framed)).unwrap_err();
+        assert_eq!(code, ErrorCode::BadMagic);
+        // Unknown op echoes the request id.
+        let mut framed = Request::Epoch.to_frame(77);
+        framed[21] = 200;
+        let (id, code, _) = Request::parse(payload_of(&framed)).unwrap_err();
+        assert_eq!((id, code), (Some(77), ErrorCode::UnknownOp));
+        // Truncated args.
+        let framed = Request::Distance(n(1), n(2)).to_frame(5);
+        let (id, code, _) =
+            Request::parse(&payload_of(&framed)[..payload_of(&framed).len() - 3]).unwrap_err();
+        assert_eq!((id, code), (Some(5), ErrorCode::BadPayload));
+        // Trailing garbage after complete args.
+        let mut bytes = payload_of(&Request::Degree(n(1)).to_frame(6)).to_vec();
+        bytes.push(0);
+        let (id, code, _) = Request::parse(&bytes).unwrap_err();
+        assert_eq!((id, code), (Some(6), ErrorCode::BadPayload));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_reading() {
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        let (code, _) = parse_frame_header(header).unwrap_err();
+        assert_eq!(code, ErrorCode::Oversized);
+    }
+
+    #[test]
+    fn crc_flips_are_caught() {
+        let framed = Request::Distance(n(1), n(2)).to_frame(3);
+        let (_, crc) = parse_frame_header(framed[..8].try_into().unwrap()).unwrap();
+        let mut payload = payload_of(&framed).to_vec();
+        payload[0] ^= 0x40;
+        let (code, _) = verify_frame(&payload, crc).unwrap_err();
+        assert_eq!(code, ErrorCode::Malformed);
+    }
+}

@@ -1,0 +1,374 @@
+//! The N-reader-thread TCP server.
+//!
+//! One acceptor thread feeds accepted connections into a **bounded**
+//! queue consumed by `readers` worker threads — the queue bound is the
+//! connection cap, and a full queue blocks the acceptor, which in turn
+//! leaves further clients waiting in the OS accept backlog
+//! (backpressure without a single dropped connection). Each worker
+//! serves one connection at a time, frame by frame, pinning the latest
+//! published snapshot per request; a client may pipeline requests
+//! freely and responses come back in request order.
+//!
+//! Protocol violations (bad CRC, oversized length prefix, bad magic,
+//! unknown op, truncated args) are answered with one typed error frame
+//! and the connection is closed — never a panic, never a guess at
+//! resynchronization. A connection that disappears mid-frame is simply
+//! released. See DESIGN.md §13 for the full semantics.
+
+use crate::protocol::{parse_frame_header, verify_frame, ErrorCode, Request, Response};
+use crate::snapshot::SnapshotHub;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Reader (worker) threads serving connections.
+    pub readers: usize,
+    /// Connection cap: the bound of the accepted-connection queue. When
+    /// `readers` connections are being served and this many more are
+    /// queued, the acceptor blocks and further clients wait in the OS
+    /// accept backlog.
+    pub max_connections: usize,
+    /// How long a worker blocks in a socket read before re-checking the
+    /// shutdown flag. Purely a shutdown-latency knob — partial frame
+    /// bytes are preserved across timeouts.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            readers: 4,
+            max_connections: 64,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Monotonic counters the server maintains; all reads are `Relaxed` —
+/// they are observability, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    protocol_errors: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+impl ServerStats {
+    /// Connections accepted since bind.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Successful responses written.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Typed error frames written (each also closed its connection).
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Connections that vanished mid-frame.
+    pub fn disconnects(&self) -> u64 {
+        self.disconnects.load(Ordering::Relaxed)
+    }
+}
+
+/// A running server: an acceptor plus `readers` workers over a shared
+/// [`SnapshotHub`]. Dropping the handle shuts the server down
+/// gracefully (prefer calling [`shutdown`](Server::shutdown) to make
+/// the join explicit).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+}
+
+impl Server {
+    /// Binds `addr` and starts serving `hub`'s published snapshots.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, verbatim.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        hub: Arc<SnapshotHub>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let (tx, rx) = sync_channel::<TcpStream>(config.max_connections.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.readers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let hub = Arc::clone(&hub);
+                let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                let timeout = config.read_timeout;
+                std::thread::Builder::new()
+                    .name(format!("fg-serve-reader-{i}"))
+                    .spawn(move || worker_loop(&rx, &hub, &shutdown, &stats, timeout))
+                    .expect("spawn reader thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("fg-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &tx, &shutdown, &stats))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            stats,
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Signals shutdown and joins every thread. In-flight requests
+    /// finish; connections popped from the queue afterwards are answered
+    /// with a [`ShuttingDown`](ErrorCode::ShuttingDown) frame and
+    /// closed; idle connections close within one read timeout.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) {
+    loop {
+        let stream = listener.accept();
+        if shutdown.load(Ordering::SeqCst) {
+            // The wake connection (or whoever raced it) is dropped;
+            // dropping `tx` below is what releases idle workers.
+            break;
+        }
+        match stream {
+            Ok((stream, _peer)) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                // Blocking send onto the bounded queue IS the
+                // backpressure: a full queue parks the acceptor here and
+                // later clients wait in the OS accept backlog.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. the peer reset before
+                // we got to it); keep serving.
+                continue;
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    hub: &SnapshotHub,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    timeout: Duration,
+) {
+    loop {
+        // Holding the mutex across recv() is the textbook sharing of an
+        // mpsc receiver: exactly one idle worker waits in recv(), the
+        // rest queue on the mutex.
+        let next = rx.lock().expect("connection queue poisoned").recv();
+        let Ok(stream) = next else {
+            return; // Acceptor gone: no more connections will ever come.
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            reject_shutting_down(stream, hub);
+            continue;
+        }
+        serve_connection(stream, hub, shutdown, stats, timeout);
+    }
+}
+
+/// Tells a late connection the server is going away, then closes it.
+fn reject_shutting_down(mut stream: TcpStream, hub: &SnapshotHub) {
+    let snapshot = hub.pin();
+    let frame = Response::error_frame(
+        0,
+        snapshot.epoch,
+        snapshot.digest,
+        ErrorCode::ShuttingDown,
+        "server is shutting down",
+    );
+    let _ = stream.write_all(&frame);
+}
+
+/// What an interruptible exact read ended with.
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// The peer closed after `got` of the wanted bytes.
+    Eof { got: usize },
+    /// The shutdown flag went up while waiting for bytes.
+    Shutdown,
+    /// A hard I/O error.
+    Failed,
+}
+
+/// `read_exact` that a read timeout can interrupt: on `WouldBlock` /
+/// `TimedOut` the shutdown flag is polled and, when clear, the read
+/// resumes **with the partial bytes preserved** — a slow client never
+/// corrupts framing.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> ReadOutcome {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return ReadOutcome::Eof { got },
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Full
+}
+
+/// Serves one connection until it closes, errors, or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    hub: &SnapshotHub,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+    timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    loop {
+        // Frame header: [len][crc].
+        let mut header = [0u8; 8];
+        match read_full(&mut stream, &mut header, shutdown) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof { got: 0 } => return, // Clean close between frames.
+            ReadOutcome::Eof { .. } => {
+                stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::Shutdown | ReadOutcome::Failed => return,
+        }
+        let (len, crc) = match parse_frame_header(header) {
+            Ok(parsed) => parsed,
+            Err((code, detail)) => {
+                send_protocol_error(&mut stream, hub, stats, 0, code, &detail);
+                return;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match read_full(&mut stream, &mut payload, shutdown) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof { .. } => {
+                stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            ReadOutcome::Shutdown | ReadOutcome::Failed => return,
+        }
+        if let Err((code, detail)) = verify_frame(&payload, crc) {
+            send_protocol_error(&mut stream, hub, stats, 0, code, &detail);
+            return;
+        }
+        // Pin once per request: the whole answer — including the stamp —
+        // comes from one published snapshot, whatever the writer does
+        // meanwhile.
+        let snapshot = hub.pin();
+        match Request::parse(&payload) {
+            Ok((request_id, request)) => {
+                let body = snapshot.answer(&request);
+                let frame = Response::ok_frame(request_id, snapshot.epoch, snapshot.digest, &body);
+                if stream.write_all(&frame).is_err() {
+                    stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                stats.served.fetch_add(1, Ordering::Relaxed);
+            }
+            Err((request_id, code, detail)) => {
+                send_protocol_error(
+                    &mut stream,
+                    hub,
+                    stats,
+                    request_id.unwrap_or(0),
+                    code,
+                    &detail,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Writes one typed error frame (stamped like any response) and counts
+/// it; the caller closes the connection by returning.
+fn send_protocol_error(
+    stream: &mut TcpStream,
+    hub: &SnapshotHub,
+    stats: &ServerStats,
+    request_id: u64,
+    code: ErrorCode,
+    detail: &str,
+) {
+    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    let snapshot = hub.pin();
+    let frame = Response::error_frame(request_id, snapshot.epoch, snapshot.digest, code, detail);
+    let _ = stream.write_all(&frame);
+}

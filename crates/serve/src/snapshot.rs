@@ -1,0 +1,341 @@
+//! The snapshot publication layer: a writer applies event batches
+//! through a healer and publishes immutable, epoch-stamped
+//! [`ServeSnapshot`]s behind an atomically swapped [`Arc`]; readers pin
+//! the latest snapshot for a request's lifetime and old epochs are freed
+//! when the last reader releases.
+//!
+//! This is the decoupling the in-process query API cannot provide:
+//! [`fg_core::View`] *borrows* the healer, so no write can run while a
+//! read is alive. Here the writer owns the healer exclusively and the
+//! readers own [`FrozenView`] copies — stage-then-commit: the writer
+//! stages a full CSR snapshot off to the side, then commits it with one
+//! pointer swap. A reader can never observe a torn snapshot because the
+//! swap is the *only* shared mutation and it installs a fully built,
+//! never-again-mutated value (see DESIGN.md §13 for the consistency
+//! argument).
+//!
+//! Every snapshot carries its **certificate**: the `(epoch, digest)`
+//! pair, where the digest chains every applied outcome's
+//! [`ReportDigest`] in order. Two replicas that
+//! applied the same committed history answer with the same certificate,
+//! which is what makes a served answer checkable against the master's
+//! WAL (ROADMAP replication item).
+
+use crate::protocol::{Request, ResponseBody};
+use fg_core::{
+    BatchReport, EngineError, FrozenView, GraphView, HealOutcome, NetworkEvent, ReportDigest,
+    SelfHealer,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// One immutable published snapshot: a [`FrozenView`] of the healer's
+/// state plus the certificate of the history that produced it.
+///
+/// All query answering on the serving path goes through the frozen
+/// view's inherent methods — dense CSR kernels, bit-identical to the
+/// live [`QueryOps`](fg_core::QueryOps) path at the same epoch (the
+/// loopback differential suites assert this on both backends).
+#[derive(Debug)]
+pub struct ServeSnapshot {
+    /// The structural epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// The chained outcome digest over the whole applied history: a
+    /// fold of each event's [`HealOutcome::digest`] into one FNV-1a
+    /// accumulator, in application order. [`BASE_DIGEST`] before any
+    /// event.
+    pub digest: u64,
+    /// The frozen image+ghost CSR pair answering every query op.
+    pub view: FrozenView,
+}
+
+impl ServeSnapshot {
+    /// Answers one protocol request against this snapshot's frozen view.
+    ///
+    /// Exactly the kernels the in-process [`QueryOps`](fg_core::QueryOps)
+    /// tier runs, so a served answer at epoch `e` is bit-identical to a
+    /// live query at epoch `e` — the property the loopback differential
+    /// suites pin down.
+    pub fn answer(&self, request: &Request) -> ResponseBody {
+        match *request {
+            Request::Epoch => ResponseBody::Epoch,
+            Request::Distance(u, v) => ResponseBody::Distance(self.view.distance(u, v)),
+            Request::Path(u, v) => ResponseBody::Path(self.view.path(u, v)),
+            Request::Stretch(u, v) => ResponseBody::Stretch(self.view.stretch(u, v)),
+            Request::Degree(u) => ResponseBody::Degree(self.view.degree(u).map(|d| d as u64)),
+            Request::Neighbors(u) => {
+                ResponseBody::Neighbors(self.view.alive(u).then(|| self.view.neighbors(u)))
+            }
+            Request::SameComponent(u, v) => {
+                ResponseBody::SameComponent(self.view.same_component(u, v))
+            }
+        }
+    }
+}
+
+/// The digest a fresh history starts from (the FNV-1a offset basis) —
+/// what a snapshot of an untouched healer is stamped with.
+pub const BASE_DIGEST: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one applied outcome into a chained history digest.
+pub fn chain_digest(digest: u64, outcome: &HealOutcome) -> u64 {
+    ReportDigest::new()
+        .word(digest)
+        .word(outcome.digest())
+        .value()
+}
+
+/// The atomically swapped publication point between one writer and any
+/// number of readers.
+///
+/// Readers call [`pin`](SnapshotHub::pin) to grab the latest snapshot
+/// for a request's lifetime; the writer calls
+/// [`publish`](SnapshotHub::publish) to swap in a new one. The swap is
+/// a pointer store under a short critical section — readers never block
+/// behind snapshot construction, and a superseded epoch is dropped the
+/// moment its last pinned `Arc` goes away.
+#[derive(Debug)]
+pub struct SnapshotHub {
+    current: RwLock<Arc<ServeSnapshot>>,
+    /// The published epoch, readable without touching the lock (the
+    /// bench's saturation probes poll this).
+    epoch: AtomicU64,
+    /// Publish notifications for [`wait_for_epoch`](SnapshotHub::wait_for_epoch).
+    publish_signal: (Mutex<u64>, Condvar),
+}
+
+impl SnapshotHub {
+    /// A hub initially publishing `snapshot`.
+    pub fn new(snapshot: ServeSnapshot) -> SnapshotHub {
+        let epoch = snapshot.epoch;
+        SnapshotHub {
+            current: RwLock::new(Arc::new(snapshot)),
+            epoch: AtomicU64::new(epoch),
+            publish_signal: (Mutex::new(epoch), Condvar::new()),
+        }
+    }
+
+    /// A hub over a healer's current state with a fresh digest chain —
+    /// for serving a pre-built network with no applied history.
+    pub fn from_healer(healer: &(impl SelfHealer + ?Sized)) -> SnapshotHub {
+        let view = healer.view();
+        SnapshotHub::new(ServeSnapshot {
+            epoch: view.epoch(),
+            digest: BASE_DIGEST,
+            view: view.freeze(),
+        })
+    }
+
+    /// Pins the latest published snapshot: the returned [`Arc`] keeps
+    /// exactly that epoch alive for as long as the caller holds it,
+    /// regardless of how many newer epochs are published meanwhile.
+    pub fn pin(&self) -> Arc<ServeSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The currently published epoch, lock-free.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Atomically replaces the published snapshot. Readers holding pins
+    /// to the superseded epoch keep it alive until they release; new
+    /// pins see `snapshot`.
+    pub fn publish(&self, snapshot: ServeSnapshot) {
+        let epoch = snapshot.epoch;
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        self.epoch.store(epoch, Ordering::Release);
+        let (lock, cvar) = &self.publish_signal;
+        *lock.lock().expect("publish signal poisoned") = epoch;
+        cvar.notify_all();
+    }
+
+    /// Blocks until the published epoch reaches `target` (tests and
+    /// clients that need read-your-writes against a known write point).
+    pub fn wait_for_epoch(&self, target: u64) {
+        let (lock, cvar) = &self.publish_signal;
+        let mut epoch = lock.lock().expect("publish signal poisoned");
+        while *epoch < target {
+            epoch = cvar.wait(epoch).expect("publish signal poisoned");
+        }
+    }
+}
+
+/// The writer half: owns a healer exclusively, applies event batches,
+/// chains the outcome digests, and publishes one snapshot per batch to
+/// a shared [`SnapshotHub`].
+///
+/// `Publisher` is deliberately synchronous — it is the body a writer
+/// *thread* runs (see the server examples and the torture suite), but
+/// it is equally usable inline when the caller wants strict control
+/// over publish points.
+pub struct Publisher<H> {
+    healer: H,
+    hub: Arc<SnapshotHub>,
+    digest: u64,
+}
+
+impl<H: SelfHealer> Publisher<H> {
+    /// Wraps `healer`, creating a hub that starts at its current state
+    /// with a fresh digest chain.
+    pub fn new(healer: H) -> Publisher<H> {
+        let hub = Arc::new(SnapshotHub::from_healer(&healer));
+        Publisher {
+            healer,
+            hub,
+            digest: BASE_DIGEST,
+        }
+    }
+
+    /// The hub readers should pin from.
+    pub fn hub(&self) -> Arc<SnapshotHub> {
+        Arc::clone(&self.hub)
+    }
+
+    /// The chained digest of everything applied so far.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Read access to the wrapped healer (the differential suites
+    /// compare served answers against its live views between batches).
+    pub fn healer(&self) -> &H {
+        &self.healer
+    }
+
+    /// Applies one batch through the healer, folds every outcome into
+    /// the digest chain, and publishes the post-batch snapshot.
+    ///
+    /// # Errors
+    ///
+    /// The healer's [`EngineError`]. On failure the batch's applied
+    /// prefix is still published so readers see exactly the applied
+    /// state, but its per-event outcomes are not retrievable post-hoc —
+    /// the chain folds an error sentinel instead, deliberately marking
+    /// the certificate as diverged from any clean history.
+    pub fn apply_and_publish(
+        &mut self,
+        events: &[NetworkEvent],
+    ) -> Result<BatchReport, EngineError> {
+        let result = self.healer.apply_batch(events);
+        match &result {
+            Ok(report) => {
+                for outcome in &report.outcomes {
+                    self.digest = chain_digest(self.digest, outcome);
+                }
+            }
+            Err(_) => {
+                self.digest = ReportDigest::new().word(self.digest).word(u64::MAX).value();
+            }
+        }
+        self.publish();
+        result
+    }
+
+    /// Publishes the healer's current state under the current digest
+    /// chain. Normally [`apply_and_publish`](Publisher::apply_and_publish)
+    /// calls this; it is public for writers that reach a publish point
+    /// some other way.
+    pub fn publish(&mut self) {
+        let view = self.healer.view();
+        self.hub.publish(ServeSnapshot {
+            epoch: view.epoch(),
+            digest: self.digest,
+            view: view.freeze(),
+        });
+    }
+
+    /// Consumes the publisher, returning the healer.
+    pub fn into_healer(self) -> H {
+        self.healer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_core::ForgivingGraph;
+    use fg_graph::{generators, NodeId};
+
+    #[test]
+    fn pins_keep_superseded_epochs_alive() {
+        let fg = ForgivingGraph::from_graph(&generators::cycle(8)).unwrap();
+        let mut publisher = Publisher::new(fg);
+        let hub = publisher.hub();
+        let first = hub.pin();
+        assert_eq!(first.epoch, 8);
+        assert_eq!(first.digest, BASE_DIGEST);
+
+        let _ = publisher
+            .apply_and_publish(&[NetworkEvent::delete(NodeId::new(3))])
+            .unwrap();
+        let second = hub.pin();
+        assert_eq!(second.epoch, 9);
+        assert_ne!(second.digest, BASE_DIGEST);
+        // The old pin still answers at its own epoch.
+        assert_eq!(first.epoch, 8);
+        assert!(first.view.alive(NodeId::new(3)));
+        assert!(!second.view.alive(NodeId::new(3)));
+    }
+
+    #[test]
+    fn superseded_snapshots_are_freed_when_released() {
+        let fg = ForgivingGraph::from_graph(&generators::star(6)).unwrap();
+        let mut publisher = Publisher::new(fg);
+        let hub = publisher.hub();
+        let pinned = hub.pin();
+        let weak = Arc::downgrade(&pinned);
+        let _ = publisher
+            .apply_and_publish(&[NetworkEvent::insert([NodeId::new(1)])])
+            .unwrap();
+        // Still alive: the reader holds it (the hub no longer does).
+        assert!(weak.upgrade().is_some());
+        drop(pinned);
+        assert!(
+            weak.upgrade().is_none(),
+            "superseded epoch must drop with its last pin"
+        );
+    }
+
+    #[test]
+    fn digest_chain_is_deterministic_across_equal_histories() {
+        let events = [
+            NetworkEvent::insert([NodeId::new(0), NodeId::new(2)]),
+            NetworkEvent::delete(NodeId::new(1)),
+            NetworkEvent::delete(NodeId::new(0)),
+        ];
+        let run = |batching: &[usize]| {
+            let fg = ForgivingGraph::from_graph(&generators::cycle(6)).unwrap();
+            let mut publisher = Publisher::new(fg);
+            let mut rest: &[NetworkEvent] = &events;
+            for &take in batching {
+                let (head, tail) = rest.split_at(take);
+                let _ = publisher.apply_and_publish(head).unwrap();
+                rest = tail;
+            }
+            (publisher.hub().pin().epoch, publisher.digest())
+        };
+        // Same history, different batch boundaries: same certificate.
+        assert_eq!(run(&[3]), run(&[1, 2]));
+        assert_eq!(run(&[3]), run(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn wait_for_epoch_sees_publishes() {
+        let fg = ForgivingGraph::from_graph(&generators::path(4)).unwrap();
+        let mut publisher = Publisher::new(fg);
+        let hub = publisher.hub();
+        let waiter = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || {
+                hub.wait_for_epoch(5);
+                hub.pin().epoch
+            })
+        };
+        let _ = publisher
+            .apply_and_publish(&[NetworkEvent::insert([NodeId::new(0)])])
+            .unwrap();
+        assert_eq!(waiter.join().unwrap(), 5);
+        assert_eq!(hub.epoch(), 5);
+    }
+}

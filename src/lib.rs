@@ -27,6 +27,7 @@ pub use fg_dist as dist;
 pub use fg_graph as graph;
 pub use fg_haft as haft;
 pub use fg_metrics as metrics;
+pub use fg_serve as serve;
 pub use fg_store as store;
 
 /// One-stop imports for driving any healer through the typed
@@ -68,5 +69,6 @@ pub mod prelude {
     pub use fg_dist::{DistHealer, Network, RepairCost};
     pub use fg_graph::{Graph, NodeId};
     pub use fg_metrics::{measure, ObserverCounts, StreamingCost, StreamingDegree};
+    pub use fg_serve::{Client, Publisher, Server, ServerConfig, SnapshotHub};
     pub use fg_store::{DurableHealer, DurableOptions, Persistable, RecoveryReport};
 }
