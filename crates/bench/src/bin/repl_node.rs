@@ -1,0 +1,288 @@
+//! repl_node — a killable master / verifying replica process pair for
+//! the CI replication gate.
+//!
+//! **Master** (`--role master`): opens (or creates) a durable store at
+//! `--dir`, binds an FGQ1 write-master server and an FGR1 replication
+//! listener on ephemeral loopback ports (written to `--ports`, one
+//! address per line), then applies the deterministic scenario trace up
+//! to `--to` through the writer thread — appending one
+//! `"<applied> <epoch> <chain:016x>"` line per committed batch to
+//! `--golden` (the golden digest stream). With `--linger 1` it then
+//! parks serving until killed; CI `kill -9`s it here, restarts it with
+//! a larger `--to`, and the recovered store resumes exactly where the
+//! acknowledged stream left off (the golden file is append-only across
+//! lives). On restart the already-applied prefix is detected from the
+//! recovered epoch and skipped.
+//!
+//! **Replica** (`--role replica`): bootstraps a replica store at
+//! `--dir` from the master's FGR1 port, syncs to caught-up, and then
+//! **gates**: the replica's `(applied, epoch, chain)` must equal the
+//! last line of the master's golden stream, every probe answer served
+//! by the replica over FGQ1 must be bit-identical (body and stamp) to
+//! the master's answer for the same request, and with `--check-dist 1`
+//! an in-memory replay of the same trace prefix on the message-passing
+//! backend must chain to the same certificate. Exits nonzero on any
+//! divergence; `--json` records the verdict.
+//!
+//! Shared flags: `--workload churn --n 256 --events 4000 --seed 41
+//! --batch 32` — both roles must agree so the trace is identical.
+
+use fg_bench::json::Json;
+use fg_bench::{scenario, BenchArgs};
+use fg_core::{ForgivingGraph, NetworkEvent, PlacementPolicy, SelfHealer};
+use fg_dist::DistHealer;
+use fg_graph::NodeId;
+use fg_serve::{
+    spawn_writer, Client, Publisher, ReplicaNode, Request, Server, ServerConfig, WriteJob,
+};
+use fg_store::{DurableHealer, DurableOptions, ReplListener};
+use std::io::Write;
+use std::path::Path;
+use std::sync::mpsc::channel;
+
+fn opts() -> DurableOptions {
+    DurableOptions {
+        checkpoint_every: None,
+        sync_every: 1,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let role = args.raw("role").expect("--role master|replica").to_string();
+    match role.as_str() {
+        "master" => master(&args),
+        "replica" => replica(&args),
+        other => panic!("--role {other:?} is not master|replica"),
+    }
+}
+
+fn trace(args: &BenchArgs) -> (fg_graph::Graph, Vec<NetworkEvent>) {
+    let workload = args.raw("workload").unwrap_or("churn").to_string();
+    let n = args.get("n", 256usize);
+    let events = args.get("events", 4_000usize);
+    let seed = args.seed(41);
+    let sc = scenario(&workload, n, events, seed);
+    (sc.initial, sc.events)
+}
+
+fn master(args: &BenchArgs) {
+    let (initial, events) = trace(args);
+    let dir = args.raw("dir").expect("--dir <store>").to_string();
+    let ports = args.raw("ports").expect("--ports <file>").to_string();
+    let golden = args.raw("golden").expect("--golden <file>").to_string();
+    let to = args.get("to", events.len()).min(events.len());
+    let batch = args.get("batch", 32usize).max(1);
+    let linger = args.get("linger", 0u8) != 0;
+
+    // First life creates the store; later lives recover it — every
+    // acknowledged event replays, so the applied prefix is derivable
+    // from the recovered epoch.
+    let base_epoch = ForgivingGraph::from_graph(&initial).unwrap().epoch();
+    let durable = if fg_store::read_manifest(Path::new(&dir)).is_ok() {
+        let (durable, report) = DurableHealer::<ForgivingGraph>::open(Path::new(&dir), opts())
+            .expect("recover master store");
+        eprintln!(
+            "repl_node master: recovered epoch {} ({} replayed)",
+            report.epoch, report.replayed
+        );
+        durable
+    } else {
+        DurableHealer::create(
+            ForgivingGraph::from_graph(&initial).unwrap(),
+            Path::new(&dir),
+            opts(),
+        )
+        .expect("create master store")
+    };
+    let applied = (durable.epoch() - base_epoch) as usize;
+    assert!(applied <= to, "store is ahead of --to; wrong trace flags?");
+
+    let publisher = Publisher::from_durable(durable);
+    let hub = publisher.hub();
+    let (writer, writer_handle) = spawn_writer(publisher, 16);
+    let server = Server::bind_master(
+        ("127.0.0.1", 0),
+        hub,
+        writer.clone(),
+        ServerConfig::default(),
+    )
+    .expect("bind FGQ1 master");
+    let listener = ReplListener::bind("127.0.0.1:0", Path::new(&dir)).expect("bind FGR1");
+    std::fs::write(
+        &ports,
+        format!("{}\n{}\n", server.addr(), listener.local_addr()),
+    )
+    .expect("write ports file");
+    eprintln!(
+        "repl_node master: fgq {} fgr {} (applied {applied}/{to})",
+        server.addr(),
+        listener.local_addr()
+    );
+
+    let mut golden_file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&golden)
+        .expect("open golden file");
+    let mut total = applied;
+    for chunk in events[applied..to].chunks(batch) {
+        let (reply_tx, reply_rx) = channel();
+        writer
+            .send(WriteJob {
+                events: chunk.to_vec(),
+                reply: reply_tx,
+            })
+            .expect("writer alive");
+        let ack = reply_rx
+            .recv()
+            .expect("writer alive")
+            .expect("legal trace applies");
+        total += ack.applied;
+        writeln!(golden_file, "{total} {} {:016x}", ack.epoch, ack.digest)
+            .expect("append golden line");
+        golden_file.flush().expect("flush golden line");
+    }
+    eprintln!("repl_node master: applied through {total}, golden stream flushed");
+
+    if linger {
+        // Serve until killed (CI kill -9 lands here).
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    server.shutdown();
+    drop(writer);
+    writer_handle.join().expect("writer joins");
+    drop(listener);
+}
+
+fn replica(args: &BenchArgs) {
+    let (initial, events) = trace(args);
+    let dir = args.raw("dir").expect("--dir <store>").to_string();
+    let ports = args.raw("ports").expect("--ports <file>").to_string();
+    let golden = args.raw("golden").expect("--golden <file>").to_string();
+    let probes = args.get("probes", 64usize);
+    let check_dist = args.get("check-dist", 1u8) != 0;
+    let batch = args.get("batch", 32usize).max(1);
+
+    let ports_text = std::fs::read_to_string(&ports).expect("read ports file");
+    let mut lines = ports_text.lines();
+    let fgq_addr = lines.next().expect("fgq addr").trim().to_string();
+    let fgr_addr = lines.next().expect("fgr addr").trim().to_string();
+
+    let (mut node, report) =
+        ReplicaNode::<ForgivingGraph>::bootstrap(fgr_addr.as_str(), Path::new(&dir), opts())
+            .expect("bootstrap replica");
+    eprintln!(
+        "repl_node replica: local store at epoch {} ({} replayed)",
+        report.epoch, report.replayed
+    );
+    let synced = node.sync_to_caught_up().expect("sync to caught up");
+    eprintln!(
+        "repl_node replica: streamed {synced} records to epoch {}",
+        node.epoch()
+    );
+
+    // Gate 1: the replica's certificate equals the tail of the master's
+    // golden digest stream.
+    let golden_text = std::fs::read_to_string(&golden).expect("read golden file");
+    let last = golden_text
+        .lines()
+        .last()
+        .expect("golden stream is non-empty");
+    let mut parts = last.split_whitespace();
+    let golden_applied: usize = parts.next().unwrap().parse().unwrap();
+    let golden_epoch: u64 = parts.next().unwrap().parse().unwrap();
+    let golden_chain = u64::from_str_radix(parts.next().unwrap(), 16).unwrap();
+    let mut mismatches = 0usize;
+    if (node.epoch(), node.chain_digest()) != (golden_epoch, golden_chain) {
+        eprintln!(
+            "FAIL: replica certificate ({}, {:016x}) != golden tail ({golden_epoch}, {golden_chain:016x})",
+            node.epoch(),
+            node.chain_digest()
+        );
+        mismatches += 1;
+    }
+
+    // Gate 2: every served replica answer is bit-identical (body and
+    // stamp) to the master's, over all seven wire ops.
+    let replica_server = Server::bind(("127.0.0.1", 0), node.hub(), ServerConfig::default())
+        .expect("bind replica FGQ1");
+    let mut replica_client = Client::connect(replica_server.addr()).expect("connect replica");
+    let mut master_client = Client::connect(fgq_addr.as_str()).expect("connect master");
+    let universe = (initial.nodes_ever() + events.len()).max(2) as u64;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut checked = 0usize;
+    for _ in 0..probes {
+        let u = NodeId::new((next() % universe) as u32);
+        let v = NodeId::new((next() % universe) as u32);
+        for request in [
+            Request::Epoch,
+            Request::Distance(u, v),
+            Request::Path(u, v),
+            Request::Stretch(u, v),
+            Request::Degree(u),
+            Request::Neighbors(u),
+            Request::SameComponent(u, v),
+        ] {
+            let from_replica = replica_client.roundtrip(&request).expect("replica answers");
+            let from_master = master_client.roundtrip(&request).expect("master answers");
+            if from_replica != from_master {
+                eprintln!("FAIL: divergent answer for {request:?}");
+                mismatches += 1;
+            }
+            if (from_replica.epoch, from_replica.digest) != (golden_epoch, golden_chain) {
+                eprintln!("FAIL: replica stamp off the golden stream for {request:?}");
+                mismatches += 1;
+            }
+            checked += 1;
+        }
+    }
+
+    // Gate 3: the other backend chains to the same certificate over the
+    // same applied prefix.
+    let mut dist_equal = true;
+    if check_dist {
+        let mut golden_replay =
+            Publisher::new(DistHealer::from_graph(&initial, PlacementPolicy::Adjacent));
+        for chunk in events[..golden_applied].chunks(batch) {
+            let _ = golden_replay.apply_and_publish(chunk).expect("legal trace");
+        }
+        dist_equal = golden_replay.digest() == node.chain_digest()
+            && golden_replay.hub().epoch() == node.epoch();
+        if !dist_equal {
+            eprintln!("FAIL: dist-backend replay certificate diverges");
+            mismatches += 1;
+        }
+    }
+
+    println!(
+        "repl_node replica: {checked} probe answers checked, {mismatches} mismatches, \
+         certificate ({}, {:016x})",
+        node.epoch(),
+        node.chain_digest()
+    );
+    if let Some(path) = args.json_path() {
+        let doc = Json::obj()
+            .field("synced_records", Json::Int(synced as i64))
+            .field("epoch", Json::Int(node.epoch() as i64))
+            .field("chain", Json::str(format!("{:016x}", node.chain_digest())))
+            .field("golden_applied", Json::Int(golden_applied as i64))
+            .field("probe_answers", Json::Int(checked as i64))
+            .field("mismatches", Json::Int(mismatches as i64))
+            .field("dist_replay_equal", Json::Bool(dist_equal));
+        std::fs::write(path, doc.pretty()).expect("write json");
+    }
+    replica_server.shutdown();
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}

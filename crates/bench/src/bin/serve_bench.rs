@@ -89,7 +89,10 @@ fn served_answer(body: ResponseBody) -> Answer {
         ResponseBody::Stretch(s) => Answer::Stretch(s),
         ResponseBody::Degree(d) => Answer::Degree(d.map(|x| x as usize)),
         ResponseBody::SameComponent(c) => Answer::Component(c),
-        ResponseBody::Epoch | ResponseBody::Neighbors(_) => {
+        ResponseBody::Epoch
+        | ResponseBody::Neighbors(_)
+        | ResponseBody::EventSubmitted
+        | ResponseBody::BatchSubmitted(_) => {
             unreachable!("the bench mix never issues these ops")
         }
     }

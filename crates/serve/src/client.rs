@@ -11,6 +11,7 @@
 
 use crate::error::ServeError;
 use crate::protocol::{parse_frame_header, verify_frame, Request, Response, ResponseBody};
+use fg_core::NetworkEvent;
 use fg_graph::NodeId;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -254,6 +255,52 @@ impl Client {
                 value: c,
             }),
             _ => Err(wrong_body("same-component")),
+        }
+    }
+
+    /// Submits one event to the master's writer. The returned stamp is
+    /// the **post-apply** `(epoch, digest)` — the fsynced state the
+    /// write landed in. A replica answers with
+    /// [`NotMaster`](crate::ErrorCode::NotMaster) (as
+    /// [`ServeError::Server`]) and keeps the connection usable.
+    ///
+    /// # Errors
+    ///
+    /// As [`roundtrip`](Client::roundtrip).
+    pub fn submit_event(&mut self, event: NetworkEvent) -> Result<Stamped<()>, ServeError> {
+        match self.roundtrip(&Request::SubmitEvent(event))? {
+            Stamped {
+                epoch,
+                digest,
+                value: ResponseBody::EventSubmitted,
+            } => Ok(Stamped {
+                epoch,
+                digest,
+                value: (),
+            }),
+            _ => Err(wrong_body("submit-event")),
+        }
+    }
+
+    /// Submits a batch of events (one commit, one fsync) to the
+    /// master's writer; the value is the number of events applied.
+    /// Stamp and replica semantics as [`submit_event`](Client::submit_event).
+    ///
+    /// # Errors
+    ///
+    /// As [`roundtrip`](Client::roundtrip).
+    pub fn submit_batch(&mut self, events: Vec<NetworkEvent>) -> Result<Stamped<u32>, ServeError> {
+        match self.roundtrip(&Request::SubmitBatch(events))? {
+            Stamped {
+                epoch,
+                digest,
+                value: ResponseBody::BatchSubmitted(applied),
+            } => Ok(Stamped {
+                epoch,
+                digest,
+                value: applied,
+            }),
+            _ => Err(wrong_body("submit-batch")),
         }
     }
 

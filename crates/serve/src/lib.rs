@@ -24,10 +24,18 @@
 //! - [`client`]: a blocking client with typed per-op round trips and a
 //!   split [`send`](Client::send)/[`recv`](Client::recv) pair for
 //!   pipelining.
+//! - [`mod@write`]: the master's writer thread — workers forward FGQ1
+//!   write ops (submit-event / submit-batch) as [`WriteJob`]s; the
+//!   writer runs apply → WAL log → fsync → publish (ordering asserted)
+//!   and acks with the post-publish `(epoch, digest)` stamp.
+//! - [`replica`]: a [`ReplicaNode`] ingesting a master's FGR1 WAL
+//!   stream ([`fg_store::repl`]) and republishing each synced epoch
+//!   into its own hub, so a read-only server answers with certificates
+//!   bit-identical to the master's at equal epochs.
 //!
 //! The design contract — the epoch-consistency argument, backpressure
-//! and shutdown semantics, and the certificate's role in the planned
-//! replication story — is written up in DESIGN.md §13.
+//! and shutdown semantics, and the replication story — is written up in
+//! DESIGN.md §13–§14.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,11 +43,15 @@
 pub mod client;
 pub mod error;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod snapshot;
+pub mod write;
 
 pub use client::{Client, Stamped};
 pub use error::ServeError;
 pub use protocol::{ErrorCode, Request, Response, ResponseBody};
+pub use replica::ReplicaNode;
 pub use server::{Server, ServerConfig, ServerStats};
 pub use snapshot::{chain_digest, Publisher, ServeSnapshot, SnapshotHub, BASE_DIGEST};
+pub use write::{spawn_writer, WriteAck, WriteJob};

@@ -23,15 +23,28 @@
 //!
 //! Ops and their args (node ids are `u32 LE`):
 //!
-//! | tag | op              | args    |
-//! |-----|-----------------|---------|
-//! | 0   | epoch           | —       |
-//! | 1   | distance        | `u, v`  |
-//! | 2   | path            | `u, v`  |
-//! | 3   | stretch         | `u, v`  |
-//! | 4   | degree          | `u`     |
-//! | 5   | neighbors       | `u`     |
-//! | 6   | same-component  | `u, v`  |
+//! | tag | op              | args                    |
+//! |-----|-----------------|-------------------------|
+//! | 0   | epoch           | —                       |
+//! | 1   | distance        | `u, v`                  |
+//! | 2   | path            | `u, v`                  |
+//! | 3   | stretch         | `u, v`                  |
+//! | 4   | degree          | `u`                     |
+//! | 5   | neighbors       | `u`                     |
+//! | 6   | same-component  | `u, v`                  |
+//! | 7   | submit-event    | event list (count = 1)  |
+//! | 8   | submit-batch    | event list              |
+//!
+//! Ops 7–8 are **writes**: the event list is the WAL's own wire form
+//! (`fg_store::encode_events` — a `u32` count then tagged events), so a
+//! submitted event and the record it becomes agree byte-for-byte. Only
+//! a master (a server wired to a writer) accepts them; replicas and
+//! read-only servers answer a typed [`ErrorCode::NotMaster`] frame and
+//! keep the connection open — op-level refusals, unlike framing
+//! violations, do not close the connection. A successful write's
+//! response is stamped with the *post-apply* `(epoch, digest)`
+//! certificate, making every acknowledged write verifiable against the
+//! WAL chain.
 //!
 //! ## Response payload
 //!
@@ -49,8 +62,9 @@
 //! master's committed history.
 
 use crate::error::ServeError;
+use fg_core::NetworkEvent;
 use fg_graph::NodeId;
-use fg_store::crc32;
+use fg_store::{crc32, decode_events, encode_events};
 
 /// The four magic bytes opening every FGQ1 payload.
 pub const MAGIC: [u8; 4] = *b"FGQ1";
@@ -83,6 +97,15 @@ pub enum ErrorCode {
     ShuttingDown = 5,
     /// The frame's length prefix exceeds [`MAX_FRAME_PAYLOAD`].
     Oversized = 6,
+    /// A write op (submit-event / submit-batch) reached a server that
+    /// is not a write master — a replica or a read-only server. The
+    /// connection stays open; reads still work.
+    NotMaster = 7,
+    /// The write master accepted the op but the engine refused the
+    /// event(s) (e.g. deleting a dead node). Any applied prefix of a
+    /// batch **is** durable and published; the message says where it
+    /// stopped. The connection stays open.
+    WriteFailed = 8,
 }
 
 impl ErrorCode {
@@ -95,13 +118,15 @@ impl ErrorCode {
             4 => Some(ErrorCode::BadPayload),
             5 => Some(ErrorCode::ShuttingDown),
             6 => Some(ErrorCode::Oversized),
+            7 => Some(ErrorCode::NotMaster),
+            8 => Some(ErrorCode::WriteFailed),
             _ => None,
         }
     }
 }
 
 /// One query request — the client-side view of the ops table above.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// The snapshot epoch the server is currently answering at.
     Epoch,
@@ -117,6 +142,11 @@ pub enum Request {
     Neighbors(NodeId),
     /// Whether two nodes are live and mutually reachable.
     SameComponent(NodeId, NodeId),
+    /// Apply one adversarial event through the master's writer (WAL
+    /// logged and fsynced before the response stamp is taken).
+    SubmitEvent(NetworkEvent),
+    /// Apply a batch of events atomically through the master's writer.
+    SubmitBatch(Vec<NetworkEvent>),
 }
 
 impl Request {
@@ -130,7 +160,14 @@ impl Request {
             Request::Degree(..) => 4,
             Request::Neighbors(..) => 5,
             Request::SameComponent(..) => 6,
+            Request::SubmitEvent(_) => 7,
+            Request::SubmitBatch(_) => 8,
         }
+    }
+
+    /// Whether this op mutates state (and is therefore master-only).
+    pub fn is_write(&self) -> bool {
+        matches!(self, Request::SubmitEvent(_) | Request::SubmitBatch(_))
     }
 
     /// The framed wire bytes of this request under `request_id`.
@@ -152,6 +189,10 @@ impl Request {
                 payload.extend_from_slice(&u.raw().to_le_bytes());
                 payload.extend_from_slice(&v.raw().to_le_bytes());
             }
+            Request::SubmitEvent(event) => {
+                encode_events(&mut payload, std::slice::from_ref(event));
+            }
+            Request::SubmitBatch(events) => encode_events(&mut payload, events),
         }
         frame(&payload)
     }
@@ -235,6 +276,22 @@ impl Request {
             4 => one(args).map(Request::Degree),
             5 => one(args).map(Request::Neighbors),
             6 => two(args).map(|(u, v)| Request::SameComponent(u, v)),
+            7 => decode_events(args)
+                .map_err(|detail| format!("submit-event list does not decode: {detail}"))
+                .and_then(|events| {
+                    let mut events = events;
+                    if events.len() == 1 {
+                        Ok(Request::SubmitEvent(events.pop().expect("one event")))
+                    } else {
+                        Err(format!(
+                            "submit-event takes exactly one event, got {}",
+                            events.len()
+                        ))
+                    }
+                }),
+            8 => decode_events(args)
+                .map(Request::SubmitBatch)
+                .map_err(|detail| format!("submit-batch list does not decode: {detail}")),
             other => {
                 return Err((
                     Some(id),
@@ -268,6 +325,12 @@ pub enum ResponseBody {
     Neighbors(Option<Vec<NodeId>>),
     /// Answer to [`Request::SameComponent`].
     SameComponent(bool),
+    /// Answer to [`Request::SubmitEvent`] — the post-apply stamp in the
+    /// header is the acknowledgement.
+    EventSubmitted,
+    /// Answer to [`Request::SubmitBatch`] — how many events applied
+    /// (always the full batch on success).
+    BatchSubmitted(u32),
 }
 
 impl ResponseBody {
@@ -281,6 +344,8 @@ impl ResponseBody {
             ResponseBody::Degree(_) => 4,
             ResponseBody::Neighbors(_) => 5,
             ResponseBody::SameComponent(_) => 6,
+            ResponseBody::EventSubmitted => 7,
+            ResponseBody::BatchSubmitted(_) => 8,
         }
     }
 }
@@ -343,6 +408,8 @@ impl Response {
                 None => payload.push(0),
             },
             ResponseBody::SameComponent(c) => payload.push(u8::from(*c)),
+            ResponseBody::EventSubmitted => {}
+            ResponseBody::BatchSubmitted(n) => payload.extend_from_slice(&n.to_le_bytes()),
         }
         frame(&payload)
     }
@@ -426,6 +493,8 @@ impl Response {
                 1 => true,
                 other => return Err(bad_presence(other)),
             }),
+            7 => ResponseBody::EventSubmitted,
+            8 => ResponseBody::BatchSubmitted(c.u32()?),
             other => {
                 return Err(ServeError::Malformed(format!(
                     "response carries unknown op tag {other}"
@@ -607,6 +676,11 @@ mod tests {
             Request::Degree(n(2)),
             Request::Neighbors(n(11)),
             Request::SameComponent(n(1), n(5)),
+            Request::SubmitEvent(NetworkEvent::delete(n(3))),
+            Request::SubmitBatch(vec![
+                NetworkEvent::insert([n(1), n(2)]),
+                NetworkEvent::delete(n(0)),
+            ]),
         ];
         for (i, req) in cases.into_iter().enumerate() {
             let framed = req.to_frame(i as u64 + 40);
@@ -636,6 +710,8 @@ mod tests {
             ResponseBody::Neighbors(None),
             ResponseBody::SameComponent(true),
             ResponseBody::SameComponent(false),
+            ResponseBody::EventSubmitted,
+            ResponseBody::BatchSubmitted(3),
         ];
         for (i, body) in bodies.into_iter().enumerate() {
             let framed = Response::ok_frame(i as u64, 99, 0xdead_beef, &body);
@@ -692,6 +768,12 @@ mod tests {
         bytes.push(0);
         let (id, code, _) = Request::parse(&bytes).unwrap_err();
         assert_eq!((id, code), (Some(6), ErrorCode::BadPayload));
+        // submit-event must carry exactly one event.
+        let two_events = vec![NetworkEvent::delete(n(1)), NetworkEvent::delete(n(2))];
+        let mut bytes = payload_of(&Request::SubmitBatch(two_events).to_frame(8)).to_vec();
+        bytes[13] = 7; // rewrite the op tag to submit-event
+        let (id, code, _) = Request::parse(&bytes).unwrap_err();
+        assert_eq!((id, code), (Some(8), ErrorCode::BadPayload));
     }
 
     #[test]

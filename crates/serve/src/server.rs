@@ -17,10 +17,12 @@
 
 use crate::protocol::{parse_frame_header, verify_frame, ErrorCode, Request, Response};
 use crate::snapshot::SnapshotHub;
+use crate::write::{WriteAck, WriteJob};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,6 +41,11 @@ pub struct ServerConfig {
     /// shutdown flag. Purely a shutdown-latency knob — partial frame
     /// bytes are preserved across timeouts.
     pub read_timeout: Duration,
+    /// Crash-injection hook for the panic-isolation regression test: a
+    /// worker panics when it is about to answer this request id. Leave
+    /// `None` (the default) everywhere outside tests.
+    #[doc(hidden)]
+    pub panic_on_request_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +54,7 @@ impl Default for ServerConfig {
             readers: 4,
             max_connections: 64,
             read_timeout: Duration::from_millis(50),
+            panic_on_request_id: None,
         }
     }
 }
@@ -59,6 +67,7 @@ pub struct ServerStats {
     served: AtomicU64,
     protocol_errors: AtomicU64,
     disconnects: AtomicU64,
+    connection_panics: AtomicU64,
 }
 
 impl ServerStats {
@@ -72,7 +81,9 @@ impl ServerStats {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Typed error frames written (each also closed its connection).
+    /// Typed error frames written (framing violations also close the
+    /// connection; op-level refusals like
+    /// [`NotMaster`](ErrorCode::NotMaster) leave it open).
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors.load(Ordering::Relaxed)
     }
@@ -80,6 +91,13 @@ impl ServerStats {
     /// Connections that vanished mid-frame.
     pub fn disconnects(&self) -> u64 {
         self.disconnects.load(Ordering::Relaxed)
+    }
+
+    /// Connections whose serving panicked. Each panic is caught at the
+    /// worker loop: the connection drops, the worker keeps serving —
+    /// one poisoned connection can never take the server down.
+    pub fn connection_panics(&self) -> u64 {
+        self.connection_panics.load(Ordering::Relaxed)
     }
 }
 
@@ -96,7 +114,10 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` and starts serving `hub`'s published snapshots.
+    /// Binds `addr` and starts serving `hub`'s published snapshots,
+    /// read-only: write ops are answered with a typed
+    /// [`NotMaster`](ErrorCode::NotMaster) frame. This is what a
+    /// replica runs.
     ///
     /// # Errors
     ///
@@ -104,6 +125,33 @@ impl Server {
     pub fn bind(
         addr: impl ToSocketAddrs,
         hub: Arc<SnapshotHub>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::bind_inner(addr, hub, None, config)
+    }
+
+    /// Binds `addr` as the **write master**: read ops are served from
+    /// `hub` like [`Server::bind`], and write ops (submit-event /
+    /// submit-batch) are forwarded to the writer thread behind
+    /// `writer` (see [`crate::write::spawn_writer`]), whose post-apply
+    /// `(epoch, digest)` stamp acknowledges them.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, verbatim.
+    pub fn bind_master(
+        addr: impl ToSocketAddrs,
+        hub: Arc<SnapshotHub>,
+        writer: SyncSender<WriteJob>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::bind_inner(addr, hub, Some(writer), config)
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        hub: Arc<SnapshotHub>,
+        writer: Option<SyncSender<WriteJob>>,
         config: ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
@@ -120,9 +168,13 @@ impl Server {
                 let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
                 let timeout = config.read_timeout;
+                let writer = writer.clone();
+                let panic_on = config.panic_on_request_id;
                 std::thread::Builder::new()
                     .name(format!("fg-serve-reader-{i}"))
-                    .spawn(move || worker_loop(&rx, &hub, &shutdown, &stats, timeout))
+                    .spawn(move || {
+                        worker_loop(&rx, &hub, &shutdown, &stats, timeout, &writer, panic_on)
+                    })
                     .expect("spawn reader thread")
             })
             .collect();
@@ -165,8 +217,12 @@ impl Server {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept().
-        let _ = TcpStream::connect(self.addr);
+        // Wake the acceptor out of its blocking accept(). The bound
+        // address may be unspecified (`0.0.0.0` / `::`), which is not a
+        // portable connect target — wake_acceptor rewrites it to
+        // loopback and retries briefly, so shutdown() cannot hang in
+        // join behind a wildcard bind.
+        fg_store::repl::wake_acceptor(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -220,12 +276,17 @@ fn worker_loop(
     shutdown: &AtomicBool,
     stats: &ServerStats,
     timeout: Duration,
+    writer: &Option<SyncSender<WriteJob>>,
+    panic_on: Option<u64>,
 ) {
     loop {
         // Holding the mutex across recv() is the textbook sharing of an
         // mpsc receiver: exactly one idle worker waits in recv(), the
-        // rest queue on the mutex.
-        let next = rx.lock().expect("connection queue poisoned").recv();
+        // rest queue on the mutex. A sibling worker that panicked while
+        // holding the lock poisons it, but the Receiver itself carries
+        // no invariant a half-finished recv() could break — recover the
+        // guard rather than cascading the panic through every worker.
+        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
         let Ok(stream) = next else {
             return; // Acceptor gone: no more connections will ever come.
         };
@@ -233,7 +294,15 @@ fn worker_loop(
             reject_shutting_down(stream, hub);
             continue;
         }
-        serve_connection(stream, hub, shutdown, stats, timeout);
+        // One connection's panic (a bug, or the test crash hook) must
+        // not kill the worker: catch it, count it, drop the connection,
+        // keep serving the queue.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(stream, hub, shutdown, stats, timeout, writer, panic_on);
+        }));
+        if outcome.is_err() {
+            stats.connection_panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -293,6 +362,8 @@ fn serve_connection(
     shutdown: &AtomicBool,
     stats: &ServerStats,
     timeout: Duration,
+    writer: &Option<SyncSender<WriteJob>>,
+    panic_on: Option<u64>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(timeout));
@@ -328,13 +399,24 @@ fn serve_connection(
             send_protocol_error(&mut stream, hub, stats, 0, code, &detail);
             return;
         }
-        // Pin once per request: the whole answer — including the stamp —
-        // comes from one published snapshot, whatever the writer does
-        // meanwhile.
-        let snapshot = hub.pin();
         match Request::parse(&payload) {
             Ok((request_id, request)) => {
-                let body = snapshot.answer(&request);
+                if panic_on == Some(request_id) {
+                    panic!("crash hook: panicking on request id {request_id}");
+                }
+                if request.is_write() {
+                    if !serve_write(&mut stream, hub, stats, writer, request_id, &request) {
+                        return;
+                    }
+                    continue;
+                }
+                // Pin once per request: the whole answer — including the
+                // stamp — comes from one published snapshot, whatever
+                // the writer does meanwhile.
+                let snapshot = hub.pin();
+                let body = snapshot
+                    .answer(&request)
+                    .expect("write ops are routed before answering");
                 let frame = Response::ok_frame(request_id, snapshot.epoch, snapshot.digest, &body);
                 if stream.write_all(&frame).is_err() {
                     stats.disconnects.fetch_add(1, Ordering::Relaxed);
@@ -355,6 +437,97 @@ fn serve_connection(
             }
         }
     }
+}
+
+/// Handles one write op (submit-event / submit-batch). Returns `false`
+/// only when the connection is gone — op-level refusals ([`NotMaster`]
+/// (ErrorCode::NotMaster), [`WriteFailed`](ErrorCode::WriteFailed)) are
+/// answered in-band and leave the connection open.
+fn serve_write(
+    stream: &mut TcpStream,
+    hub: &SnapshotHub,
+    stats: &ServerStats,
+    writer: &Option<SyncSender<WriteJob>>,
+    request_id: u64,
+    request: &Request,
+) -> bool {
+    let Some(writer) = writer else {
+        return send_op_error(
+            stream,
+            hub,
+            stats,
+            request_id,
+            ErrorCode::NotMaster,
+            "this node is a read replica; submit writes to the master",
+        );
+    };
+    let events = match request {
+        Request::SubmitEvent(event) => vec![event.clone()],
+        Request::SubmitBatch(events) => events.clone(),
+        _ => unreachable!("serve_write is only called for write ops"),
+    };
+    let (reply_tx, reply_rx) = channel();
+    let job = WriteJob {
+        events,
+        reply: reply_tx,
+    };
+    let outcome = match writer.send(job) {
+        Ok(()) => reply_rx
+            .recv()
+            .unwrap_or_else(|_| Err("writer thread exited before acknowledging".into())),
+        Err(_) => Err("writer thread is gone".into()),
+    };
+    match outcome {
+        Ok(WriteAck {
+            applied,
+            epoch,
+            digest,
+        }) => {
+            let body = match request {
+                Request::SubmitEvent(_) => crate::protocol::ResponseBody::EventSubmitted,
+                _ => crate::protocol::ResponseBody::BatchSubmitted(applied as u32),
+            };
+            // The stamp on a write ack is the writer's post-publish
+            // (epoch, digest) — the state the write landed in, not
+            // whatever snapshot this worker could pin.
+            let frame = Response::ok_frame(request_id, epoch, digest, &body);
+            if stream.write_all(&frame).is_err() {
+                stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            stats.served.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Err(detail) => send_op_error(
+            stream,
+            hub,
+            stats,
+            request_id,
+            ErrorCode::WriteFailed,
+            &detail,
+        ),
+    }
+}
+
+/// Writes one typed **op-level** error frame and keeps the connection
+/// open (unlike [`send_protocol_error`], which precedes a close).
+/// Returns `false` if the peer vanished mid-write.
+fn send_op_error(
+    stream: &mut TcpStream,
+    hub: &SnapshotHub,
+    stats: &ServerStats,
+    request_id: u64,
+    code: ErrorCode,
+    detail: &str,
+) -> bool {
+    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    let snapshot = hub.pin();
+    let frame = Response::error_frame(request_id, snapshot.epoch, snapshot.digest, code, detail);
+    if stream.write_all(&frame).is_err() {
+        stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    true
 }
 
 /// Writes one typed error frame (stamped like any response) and counts

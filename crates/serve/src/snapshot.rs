@@ -26,6 +26,7 @@ use fg_core::{
     BatchReport, EngineError, FrozenView, GraphView, HealOutcome, NetworkEvent, ReportDigest,
     SelfHealer,
 };
+use fg_store::{DurableHealer, Persistable};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
@@ -50,14 +51,18 @@ pub struct ServeSnapshot {
 }
 
 impl ServeSnapshot {
-    /// Answers one protocol request against this snapshot's frozen view.
+    /// Answers one protocol *read* request against this snapshot's
+    /// frozen view; `None` for the write ops (submit-event /
+    /// submit-batch), which no snapshot can answer — the server routes
+    /// those to its writer (or a [`NotMaster`](crate::ErrorCode::NotMaster)
+    /// frame) before ever consulting a snapshot.
     ///
     /// Exactly the kernels the in-process [`QueryOps`](fg_core::QueryOps)
     /// tier runs, so a served answer at epoch `e` is bit-identical to a
     /// live query at epoch `e` — the property the loopback differential
     /// suites pin down.
-    pub fn answer(&self, request: &Request) -> ResponseBody {
-        match *request {
+    pub fn answer(&self, request: &Request) -> Option<ResponseBody> {
+        Some(match *request {
             Request::Epoch => ResponseBody::Epoch,
             Request::Distance(u, v) => ResponseBody::Distance(self.view.distance(u, v)),
             Request::Path(u, v) => ResponseBody::Path(self.view.path(u, v)),
@@ -69,7 +74,8 @@ impl ServeSnapshot {
             Request::SameComponent(u, v) => {
                 ResponseBody::SameComponent(self.view.same_component(u, v))
             }
-        }
+            Request::SubmitEvent(_) | Request::SubmitBatch(_) => return None,
+        })
     }
 }
 
@@ -248,6 +254,82 @@ impl<H: SelfHealer> Publisher<H> {
     /// Consumes the publisher, returning the healer.
     pub fn into_healer(self) -> H {
         self.healer
+    }
+}
+
+impl<H: Persistable> Publisher<DurableHealer<H>> {
+    /// Wraps a durable healer as the serving write master: the hub
+    /// starts at the store's recovered state and the serving digest
+    /// chain *resumes from the WAL's committed chain*
+    /// ([`DurableHealer::chain_digest`]) — both fold the same rule from
+    /// the same base, so a recovered master stamps responses exactly
+    /// where its pre-crash acknowledged history left off.
+    pub fn from_durable(durable: DurableHealer<H>) -> Publisher<DurableHealer<H>> {
+        let digest = durable.chain_digest();
+        let snapshot = {
+            let view = durable.view();
+            ServeSnapshot {
+                epoch: view.epoch(),
+                digest,
+                view: view.freeze(),
+            }
+        };
+        let hub = Arc::new(SnapshotHub::new(snapshot));
+        Publisher {
+            healer: durable,
+            hub,
+            digest,
+        }
+    }
+
+    /// The master's write path: apply → log → fsync (all inside the
+    /// durable healer's batch commit) → **then** publish. The ordering
+    /// is asserted, not just intended: publishing requires the serving
+    /// digest to equal the WAL's committed chain digest, so a snapshot
+    /// whose epoch is visible to readers is always backed by fsynced
+    /// WAL state.
+    ///
+    /// Unlike [`Publisher::apply_and_publish`] (whose in-memory healer
+    /// has no authoritative chain to fall back on), an engine error
+    /// does not fold a divergence sentinel: the WAL chain over the
+    /// applied-and-logged prefix *is* the truth, and the serving digest
+    /// resynchronizes to it before the prefix is published.
+    ///
+    /// # Errors
+    ///
+    /// The healer's [`EngineError`]; the applied prefix is durable and
+    /// published.
+    ///
+    /// # Panics
+    ///
+    /// If the serving digest chain ever disagrees with the WAL's
+    /// committed chain at a publish point — that would mean an epoch
+    /// was about to be served that committed history cannot certify.
+    pub fn apply_log_publish(
+        &mut self,
+        events: &[NetworkEvent],
+    ) -> Result<BatchReport, EngineError> {
+        let result = self.healer.apply_batch(events);
+        match &result {
+            Ok(report) => {
+                for outcome in &report.outcomes {
+                    self.digest = chain_digest(self.digest, outcome);
+                }
+            }
+            Err(_) => {
+                // The WAL logged exactly the applied prefix; its chain
+                // is authoritative for what readers may now see.
+                self.digest = self.healer.chain_digest();
+            }
+        }
+        assert_eq!(
+            self.digest,
+            self.healer.chain_digest(),
+            "apply→log→fsync→publish ordering violated: serving digest diverged from \
+             the committed WAL chain"
+        );
+        self.publish();
+        result
     }
 }
 

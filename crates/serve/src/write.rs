@@ -1,0 +1,88 @@
+//! The master's writer thread: the single owner of the durable
+//! publisher, draining submitted write jobs from the server's workers.
+//!
+//! Every write op a worker parses becomes one [`WriteJob`] on a bounded
+//! queue. The writer applies it via
+//! [`Publisher::apply_log_publish`](crate::Publisher::apply_log_publish)
+//! — apply → WAL log → fsync → publish, in that order, asserted — and
+//! acknowledges with the post-publish `(epoch, digest)` stamp. The
+//! worker frames that stamp back to the client, so a client that
+//! receives a write ack holds a certificate for fsynced state: a
+//! replica reaching that epoch must answer with the same digest.
+//!
+//! The queue is the write-side backpressure: when the writer falls
+//! behind, workers block in `send` and their connections stop reading —
+//! exactly the accept-queue story (DESIGN.md §13), one layer up.
+
+use crate::snapshot::Publisher;
+use fg_core::NetworkEvent;
+use fg_store::{DurableHealer, Persistable};
+use std::sync::mpsc::{sync_channel, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+/// One submitted write: the events to apply and the channel the
+/// submitting worker is blocked on.
+pub struct WriteJob {
+    /// The events to apply as one batch (one commit, one fsync).
+    pub events: Vec<NetworkEvent>,
+    /// Where the ack (or the engine error, rendered) goes. A dropped
+    /// receiver — client gone mid-write — is fine; the write still
+    /// committed.
+    pub reply: Sender<Result<WriteAck, String>>,
+}
+
+/// The writer's acknowledgement of one applied-and-published job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// Events applied (the whole batch on success).
+    pub applied: usize,
+    /// The epoch the publish landed on.
+    pub epoch: u64,
+    /// The chained certificate digest at that epoch — equal to the
+    /// WAL's committed chain, by the publish assertion.
+    pub digest: u64,
+}
+
+/// Spawns the writer thread over `publisher` with a `queue_depth`-deep
+/// job queue. Returns the sender to hand to
+/// [`Server::bind_master`](crate::Server::bind_master) (clone it per
+/// server if needed) and the join handle, which yields the publisher
+/// back once every sender is dropped — shut the server down first, then
+/// drop your own sender, then join to get the store back for clean
+/// checkpointing.
+///
+/// # Panics
+///
+/// Propagates (via the join handle) the publish-ordering assertion in
+/// [`Publisher::apply_log_publish`](crate::Publisher::apply_log_publish).
+pub fn spawn_writer<H>(
+    publisher: Publisher<DurableHealer<H>>,
+    queue_depth: usize,
+) -> (
+    SyncSender<WriteJob>,
+    JoinHandle<Publisher<DurableHealer<H>>>,
+)
+where
+    H: Persistable + Send + 'static,
+{
+    let (tx, rx) = sync_channel::<WriteJob>(queue_depth.max(1));
+    let handle = std::thread::Builder::new()
+        .name("fg-serve-writer".into())
+        .spawn(move || {
+            let mut publisher = publisher;
+            while let Ok(job) = rx.recv() {
+                let reply = match publisher.apply_log_publish(&job.events) {
+                    Ok(report) => Ok(WriteAck {
+                        applied: report.outcomes.len(),
+                        epoch: publisher.hub().epoch(),
+                        digest: publisher.digest(),
+                    }),
+                    Err(e) => Err(e.to_string()),
+                };
+                let _ = job.reply.send(reply);
+            }
+            publisher
+        })
+        .expect("spawn writer thread");
+    (tx, handle)
+}

@@ -190,7 +190,9 @@ fn readers_never_observe_unpublished_or_torn_epochs() {
         );
         assert_eq!(
             obs.body,
-            snapshot.answer(&obs.request),
+            snapshot
+                .answer(&obs.request)
+                .expect("torture traffic is read-only"),
             "answer diverged from retained epoch {} for {:?}",
             obs.epoch,
             obs.request

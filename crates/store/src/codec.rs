@@ -113,6 +113,14 @@ impl<'a> Cursor<'a> {
     pub(crate) fn is_done(&self) -> bool {
         self.pos == self.buf.len()
     }
+
+    /// Consumes and returns everything not yet read — for trailing
+    /// variable-length fields that run to the end of the buffer.
+    pub(crate) fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
 }
 
 /// Decodes one event from `cur` (the inverse of [`encode_event`]).
@@ -129,6 +137,37 @@ pub(crate) fn decode_event(cur: &mut Cursor<'_>) -> Result<NetworkEvent, String>
         TAG_DELETE => Ok(NetworkEvent::delete(NodeId::new(cur.u32()?))),
         tag => Err(format!("unknown event tag {tag}")),
     }
+}
+
+/// Appends the wire form of an event list: a little-endian `u32` count,
+/// then each event as `encode_event` lays it out. The serving
+/// protocol's submit ops and the replication stream share this with the
+/// WAL so an event submitted over a socket and the record it becomes
+/// agree byte-for-byte.
+pub fn encode_events(out: &mut Vec<u8>, events: &[NetworkEvent]) {
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for event in events {
+        encode_event(out, event);
+    }
+}
+
+/// Decodes [`encode_events`] output, rejecting truncation and trailing
+/// bytes.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformation.
+pub fn decode_events(buf: &[u8]) -> Result<Vec<NetworkEvent>, String> {
+    let mut cur = Cursor::new(buf);
+    let count = cur.u32()? as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        events.push(decode_event(&mut cur)?);
+    }
+    if !cur.is_done() {
+        return Err("trailing bytes after event list".to_string());
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -169,5 +208,19 @@ mod tests {
     fn decode_rejects_unknown_tag() {
         let mut cur = Cursor::new(&[7u8]);
         assert!(decode_event(&mut cur).unwrap_err().contains("tag"));
+    }
+
+    #[test]
+    fn event_lists_round_trip_and_reject_trailing_bytes() {
+        let events = vec![
+            NetworkEvent::insert([NodeId::new(3), NodeId::new(9)]),
+            NetworkEvent::delete(NodeId::new(41)),
+        ];
+        let mut buf = Vec::new();
+        encode_events(&mut buf, &events);
+        assert_eq!(decode_events(&buf).unwrap(), events);
+        buf.push(0);
+        assert!(decode_events(&buf).unwrap_err().contains("trailing"));
+        assert!(decode_events(&buf[..buf.len() - 3]).is_err());
     }
 }

@@ -39,12 +39,27 @@ use crate::snapstore::{
 };
 use crate::wal::{scan_wal, WalRecord, WalWriter, FLAG_COMMIT};
 use fg_core::{
-    BatchReport, EngineError, ForgivingGraph, HealerObserver, InsertReport, NetworkEvent,
-    RepairReport, SelfHealer,
+    BatchReport, EngineError, ForgivingGraph, HealOutcome, HealerObserver, InsertReport,
+    NetworkEvent, RepairReport, ReportDigest, SelfHealer,
 };
 use fg_graph::{Graph, NodeId};
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The certificate chain's starting value (the FNV-1a offset basis) —
+/// the digest of an empty history. Matches the serving layer's
+/// `BASE_DIGEST` so a durable store and a fresh in-memory publisher
+/// stamp identical certificates for identical histories.
+pub const CHAIN_BASE: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one event's outcome digest into the certificate chain:
+/// `chain' = fnv(chain ‖ outcome_digest)`. This is the single chaining
+/// rule shared by the WAL master, every replica, and the serving
+/// layer's response stamps — equal committed histories produce equal
+/// chains, whatever the batching.
+pub fn chain_fold(chain: u64, outcome_digest: u64) -> u64 {
+    ReportDigest::new().word(chain).word(outcome_digest).value()
+}
 
 /// A self-healer whose full state can round-trip through bytes — what
 /// the store needs to checkpoint and recover it.
@@ -161,6 +176,7 @@ pub struct DurableHealer<H: Persistable> {
     opts: DurableOptions,
     snapshot_seq: u64,
     since_checkpoint: u64,
+    chain: u64,
 }
 
 impl<H: Persistable> DurableHealer<H> {
@@ -183,7 +199,14 @@ impl<H: Persistable> DurableHealer<H> {
         let seq = inner.epoch();
         let hash = write_snapshot(dir, &inner.snapshot_bytes())?;
         let wal = WalWriter::create(&wal_path(dir, seq), opts.sync_every)?;
-        write_manifest(dir, Manifest { hash, seq })?;
+        write_manifest(
+            dir,
+            Manifest {
+                hash,
+                seq,
+                chain: CHAIN_BASE,
+            },
+        )?;
         Ok(DurableHealer {
             inner,
             dir: dir.to_path_buf(),
@@ -191,6 +214,7 @@ impl<H: Persistable> DurableHealer<H> {
             opts,
             snapshot_seq: seq,
             since_checkpoint: 0,
+            chain: CHAIN_BASE,
         })
     }
 
@@ -235,6 +259,7 @@ impl<H: Persistable> DurableHealer<H> {
             .into());
         }
 
+        let mut chain = manifest.chain;
         for record in &scan.records[..scan.committed] {
             let expected = inner.epoch() + 1;
             if record.seq != expected {
@@ -260,6 +285,7 @@ impl<H: Persistable> DurableHealer<H> {
                 }
                 .into());
             }
+            chain = chain_fold(chain, replayed);
         }
 
         let file_len = std::fs::metadata(&segment)?.len();
@@ -281,6 +307,7 @@ impl<H: Persistable> DurableHealer<H> {
                 opts,
                 snapshot_seq: manifest.seq,
                 since_checkpoint: scan.committed as u64,
+                chain,
             },
             report,
         ))
@@ -307,6 +334,17 @@ impl<H: Persistable> DurableHealer<H> {
         self.snapshot_seq
     }
 
+    /// The certificate chain digest over every event logged so far —
+    /// the fold of [`chain_fold`] from [`CHAIN_BASE`] across the full
+    /// acknowledged history. A serving layer that stamps responses with
+    /// this value lets any client check a replica's answers against the
+    /// master's committed history; recovery resumes it exactly (it is
+    /// persisted in the manifest and re-folded over the replayed WAL
+    /// suffix).
+    pub fn chain_digest(&self) -> u64 {
+        self.chain
+    }
+
     /// Forces staged records to disk with an fsync.
     ///
     /// # Errors
@@ -331,11 +369,16 @@ impl<H: Persistable> DurableHealer<H> {
         }
         let hash = write_snapshot(&self.dir, &self.inner.snapshot_bytes())?;
         let fresh = WalWriter::create(&wal_path(&self.dir, seq), self.opts.sync_every)?;
-        write_manifest(&self.dir, Manifest { hash, seq })?;
+        let manifest = Manifest {
+            hash,
+            seq,
+            chain: self.chain,
+        };
+        write_manifest(&self.dir, manifest)?;
         self.wal = fresh;
         self.snapshot_seq = seq;
         self.since_checkpoint = 0;
-        sweep_unreferenced(&self.dir, Manifest { hash, seq });
+        sweep_unreferenced(&self.dir, manifest);
         Ok(())
     }
 
@@ -349,6 +392,7 @@ impl<H: Persistable> DurableHealer<H> {
             event,
         });
         self.wal.commit().unwrap_or_else(Self::die);
+        self.chain = chain_fold(self.chain, digest);
         self.since_checkpoint += 1;
         self.auto_checkpoint();
     }
@@ -365,6 +409,9 @@ impl<H: Persistable> DurableHealer<H> {
             self.wal.stage(record);
         }
         self.wal.sync().unwrap_or_else(Self::die);
+        for record in &records {
+            self.chain = chain_fold(self.chain, record.digest);
+        }
         self.since_checkpoint += n;
     }
 
@@ -378,6 +425,68 @@ impl<H: Persistable> DurableHealer<H> {
 
     fn die<T>(err: StoreError) -> T {
         panic!("durability write failed — refusing to acknowledge un-logged events: {err}");
+    }
+
+    /// Applies one record shipped from a replication master, with the
+    /// same digest certification recovery uses: the record must be the
+    /// next in sequence, must replay to exactly the logged digest, and
+    /// is then staged into this store's own WAL **verbatim** (flags
+    /// included) — so a replica's committed WAL prefix stays
+    /// byte-identical to the master's and its own recovery replays the
+    /// identical certified history.
+    ///
+    /// The record is staged, not fsynced: callers apply a shipped run of
+    /// records and then call [`DurableHealer::sync`] once (the run's
+    /// acknowledgement point). Automatic checkpoints only trigger at
+    /// commit-flagged records, so a checkpoint never lands inside a
+    /// half-shipped batch.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::SequenceGap`], [`RecoveryError::Replay`], or
+    /// [`RecoveryError::DigestMismatch`] — the same refusal semantics as
+    /// [`DurableHealer::open`]. A refused record is never staged, so the
+    /// durable state holds only certified history; on `DigestMismatch`
+    /// the in-memory engine has already applied the event (the digest is
+    /// only knowable post-apply, as in recovery replay), so the healer
+    /// must be discarded and reopened from its own store directory.
+    /// I/O failure if an automatic checkpoint fails.
+    pub fn apply_replicated(&mut self, record: &WalRecord) -> Result<HealOutcome, StoreError> {
+        let expected = self.inner.epoch() + 1;
+        if record.seq != expected {
+            return Err(RecoveryError::SequenceGap {
+                expected,
+                found: record.seq,
+            }
+            .into());
+        }
+        let outcome =
+            self.inner
+                .apply_event(&record.event)
+                .map_err(|error| RecoveryError::Replay {
+                    seq: record.seq,
+                    error,
+                })?;
+        let replayed = outcome.digest();
+        if replayed != record.digest {
+            return Err(RecoveryError::DigestMismatch {
+                seq: record.seq,
+                logged: record.digest,
+                replayed,
+            }
+            .into());
+        }
+        self.wal.stage(record);
+        self.chain = chain_fold(self.chain, replayed);
+        self.since_checkpoint += 1;
+        if record.is_commit() {
+            if let Some(every) = self.opts.checkpoint_every {
+                if self.since_checkpoint >= every {
+                    self.checkpoint()?;
+                }
+            }
+        }
+        Ok(outcome)
     }
 
     fn batch_record(&self, event: &NetworkEvent, digest: u64) -> WalRecord {

@@ -16,6 +16,12 @@
 //!   and digest-certified recovery on [`DurableHealer::open`] — replay
 //!   must reproduce every logged digest or fail with a typed
 //!   [`RecoveryError`].
+//! * **Replication** ([`repl`]) — a master ships its committed WAL
+//!   records and checkpoints over the CRC-framed FGR1 protocol;
+//!   [`Replica`]s ingest them into their own store directories under
+//!   the same digest-certified refusal semantics, ending with a
+//!   certificate chain ([`CHAIN_BASE`], [`chain_fold`]) bit-identical
+//!   to the master's at every shared epoch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,14 +29,21 @@
 pub mod codec;
 pub mod durable;
 pub mod error;
+pub mod repl;
 pub mod snapstore;
 pub mod wal;
 
-pub use codec::{crc32, fnv64};
-pub use durable::{DurableHealer, DurableOptions, Persistable, RecoveryReport};
+pub use codec::{crc32, decode_events, encode_events, fnv64};
+pub use durable::{
+    chain_fold, DurableHealer, DurableOptions, Persistable, RecoveryReport, CHAIN_BASE,
+};
 pub use error::{RecoveryError, StoreError};
+pub use repl::{
+    wake_acceptor, wake_addr, ReplError, ReplListener, ReplProgress, ReplRequest, ReplResponse,
+    Replica,
+};
 pub use snapstore::{
-    load_snapshot, manifest_path, read_manifest, snapshot_path, wal_path, write_manifest,
+    load_snapshot, manifest_path, read_manifest, snapshot_path, sync_dir, wal_path, write_manifest,
     write_snapshot, Manifest,
 };
-pub use wal::{scan_wal, WalRecord, WalScan, WalWriter, FLAG_COMMIT};
+pub use wal::{decode_records, scan_wal, WalRecord, WalScan, WalWriter, FLAG_COMMIT};

@@ -9,20 +9,26 @@
 //! ```
 //!
 //! The manifest is the single commit point: it is replaced atomically
-//! (write-temp, fsync, rename), and everything it references is fsynced
-//! *before* the rename. A crash at any point leaves the manifest naming
-//! a snapshot and a segment that both exist and are internally complete.
+//! (write-temp, fsync, rename, **directory fsync**), and everything it
+//! references is fsynced *before* the rename. A crash at any point
+//! leaves the manifest naming a snapshot and a segment that both exist
+//! and are internally complete — including across the rename itself,
+//! because the parent directory is `fsync`ed after every rename and
+//! segment creation (a rename that is never fsynced into its directory
+//! can vanish on power loss even though both files were durable).
 //! Files a crash orphaned (a snapshot or segment written but never
 //! referenced) are swept opportunistically at the next checkpoint.
 
 use crate::codec::fnv64;
+use crate::durable::CHAIN_BASE;
 use crate::error::{RecoveryError, StoreError};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// What the manifest commits to: the checkpoint's content hash and the
-/// engine epoch it captured.
+/// What the manifest commits to: the checkpoint's content hash, the
+/// engine epoch it captured, and the certificate chain digest of the
+/// whole history up to that epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Manifest {
     /// FNV-64 content hash of the snapshot bytes (also its file name).
@@ -31,6 +37,29 @@ pub struct Manifest {
     /// `wal-<seq>.log` and only holds records with greater sequence
     /// numbers.
     pub seq: u64,
+    /// The chained outcome digest of every event up to `seq` (the fold
+    /// of [`crate::durable::chain_fold`] from [`CHAIN_BASE`]) — what
+    /// makes a recovered store resume the *same* `(epoch, digest)`
+    /// certificate chain the serving layer stamps responses with.
+    /// Stores written before the chain existed (format tag `fgstore1`)
+    /// read back as [`CHAIN_BASE`].
+    pub chain: u64,
+}
+
+/// Fsyncs a directory so renames and file creations inside it are
+/// durable — on POSIX, a rename is only crash-safe once the *directory*
+/// holding the new name has itself been synced.
+///
+/// # Errors
+///
+/// Any I/O failure (non-Unix targets, where directories cannot be
+/// opened for syncing, are a no-op).
+pub fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 /// Path of the manifest file inside `dir`.
@@ -49,7 +78,7 @@ pub fn wal_path(dir: &Path, seq: u64) -> PathBuf {
 }
 
 /// Writes `bytes` as a content-addressed snapshot file (temp + fsync +
-/// rename) and returns its hash.
+/// rename + directory fsync) and returns its hash.
 ///
 /// # Errors
 ///
@@ -63,11 +92,12 @@ pub fn write_snapshot(dir: &Path, bytes: &[u8]) -> Result<u64, StoreError> {
     file.sync_all()?;
     drop(file);
     fs::rename(&tmp, &final_path)?;
+    sync_dir(dir)?;
     Ok(hash)
 }
 
-/// Atomically replaces the manifest (temp + fsync + rename). This is the
-/// checkpoint's commit point.
+/// Atomically replaces the manifest (temp + fsync + rename + directory
+/// fsync). This is the checkpoint's commit point.
 ///
 /// # Errors
 ///
@@ -75,10 +105,15 @@ pub fn write_snapshot(dir: &Path, bytes: &[u8]) -> Result<u64, StoreError> {
 pub fn write_manifest(dir: &Path, manifest: Manifest) -> Result<(), StoreError> {
     let tmp = dir.join("MANIFEST.tmp");
     let mut file = fs::File::create(&tmp)?;
-    writeln!(file, "fgstore1 {:016x} {}", manifest.hash, manifest.seq)?;
+    writeln!(
+        file,
+        "fgstore2 {:016x} {} {:016x}",
+        manifest.hash, manifest.seq, manifest.chain
+    )?;
     file.sync_all()?;
     drop(file);
     fs::rename(&tmp, manifest_path(dir))?;
+    sync_dir(dir)?;
     Ok(())
 }
 
@@ -104,7 +139,8 @@ pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
         })
     };
     let mut parts = text.split_whitespace();
-    if parts.next() != Some("fgstore1") {
+    let tag = parts.next();
+    if tag != Some("fgstore1") && tag != Some("fgstore2") {
         return Err(bad("unknown format tag"));
     }
     let hash = parts
@@ -115,10 +151,20 @@ pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("unparseable sequence number"))?;
+    // fgstore1 predates the certificate chain: those stores resume the
+    // chain from its base, exactly as the serving layer did back then.
+    let chain = if tag == Some("fgstore2") {
+        parts
+            .next()
+            .and_then(|c| u64::from_str_radix(c, 16).ok())
+            .ok_or_else(|| bad("unparseable chain digest"))?
+    } else {
+        CHAIN_BASE
+    };
     if parts.next().is_some() {
         return Err(bad("trailing fields"));
     }
-    Ok(Manifest { hash, seq })
+    Ok(Manifest { hash, seq, chain })
 }
 
 /// Loads the snapshot the manifest names and verifies its content hash.
@@ -182,9 +228,23 @@ mod tests {
         let m = Manifest {
             hash: 0xdead_beef_0123_4567,
             seq: 42,
+            chain: 0x0123_4567_89ab_cdef,
         };
         write_manifest(&dir, m).unwrap();
         assert_eq!(read_manifest(&dir).unwrap(), m);
+    }
+
+    #[test]
+    fn legacy_fgstore1_manifest_reads_with_base_chain() {
+        let dir = temp_dir("legacy");
+        fs::write(
+            manifest_path(&dir),
+            "fgstore1 00000000000000ab 7\n".as_bytes(),
+        )
+        .unwrap();
+        let m = read_manifest(&dir).unwrap();
+        assert_eq!((m.hash, m.seq), (0xab, 7));
+        assert_eq!(m.chain, CHAIN_BASE);
     }
 
     #[test]
@@ -201,7 +261,11 @@ mod tests {
         let dir = temp_dir("snap");
         let bytes = b"snapshot payload".to_vec();
         let hash = write_snapshot(&dir, &bytes).unwrap();
-        let m = Manifest { hash, seq: 7 };
+        let m = Manifest {
+            hash,
+            seq: 7,
+            chain: CHAIN_BASE,
+        };
         assert_eq!(load_snapshot(&dir, m).unwrap(), bytes);
         // Corrupt the file: the hash check must catch it.
         fs::write(snapshot_path(&dir, hash), b"snapshot pAyload").unwrap();
@@ -219,7 +283,11 @@ mod tests {
         fs::write(wal_path(&dir, 3), b"").unwrap();
         fs::write(wal_path(&dir, 9), b"").unwrap();
         fs::write(dir.join("snap-feed.tmp"), b"").unwrap();
-        let keep = Manifest { hash, seq: 9 };
+        let keep = Manifest {
+            hash,
+            seq: 9,
+            chain: CHAIN_BASE,
+        };
         sweep_unreferenced(&dir, keep);
         assert!(snapshot_path(&dir, hash).exists());
         assert!(wal_path(&dir, 9).exists());

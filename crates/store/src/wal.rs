@@ -174,6 +174,38 @@ pub fn scan_wal(path: &Path) -> Result<WalScan, StoreError> {
     })
 }
 
+/// Decodes a byte range that must consist of exactly whole, valid WAL
+/// records — the strict parser for *shipped* record ranges (replication),
+/// where any violation is tampering or truncation in transit, never a
+/// crash artifact to be truncated away.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation (bad framing,
+/// CRC mismatch, undecodable payload, or trailing bytes).
+pub fn decode_records(buf: &[u8]) -> Result<Vec<WalRecord>, String> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        match parse_record_at(buf, pos) {
+            Ok((record, end)) => {
+                records.push(record);
+                pos = end;
+            }
+            Err(ParseFailure::Damaged) => {
+                return Err(format!(
+                    "record framing or checksum violation at byte {pos} of a {}-byte range",
+                    buf.len()
+                ));
+            }
+            Err(ParseFailure::Undecodable(detail)) => {
+                return Err(format!("record at byte {pos} does not decode: {detail}"));
+            }
+        }
+    }
+    Ok(records)
+}
+
 enum ParseFailure {
     /// Framing or checksum violation — crash damage or garbage.
     Damaged,
@@ -240,7 +272,10 @@ pub struct WalWriter {
 impl WalWriter {
     /// Creates a fresh, empty segment (truncating any previous file at
     /// `path` — rotation owns segment naming) and fsyncs it into
-    /// existence.
+    /// existence, **including the parent directory**: the file's own
+    /// fsync does not make its directory entry durable, so without the
+    /// directory sync the segment itself could vanish on a crash right
+    /// after a checkpoint committed a manifest that names it.
     ///
     /// # Errors
     ///
@@ -252,6 +287,9 @@ impl WalWriter {
             .truncate(true)
             .open(path)?;
         file.sync_all()?;
+        if let Some(dir) = path.parent() {
+            crate::snapstore::sync_dir(dir)?;
+        }
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),

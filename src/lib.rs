@@ -69,6 +69,10 @@ pub mod prelude {
     pub use fg_dist::{DistHealer, Network, RepairCost};
     pub use fg_graph::{Graph, NodeId};
     pub use fg_metrics::{measure, ObserverCounts, StreamingCost, StreamingDegree};
-    pub use fg_serve::{Client, Publisher, Server, ServerConfig, SnapshotHub};
-    pub use fg_store::{DurableHealer, DurableOptions, Persistable, RecoveryReport};
+    pub use fg_serve::{
+        spawn_writer, Client, Publisher, ReplicaNode, Server, ServerConfig, SnapshotHub,
+    };
+    pub use fg_store::{
+        DurableHealer, DurableOptions, Persistable, RecoveryReport, ReplListener, Replica,
+    };
 }

@@ -113,6 +113,9 @@ fn serve_and_probe<H: SelfHealer>(
                     assert_eq!(*c, frozen.same_component(u, v), "{ctx}: component")
                 }
                 ResponseBody::Epoch => panic!("{ctx}: unexpected epoch body"),
+                ResponseBody::EventSubmitted | ResponseBody::BatchSubmitted(_) => {
+                    panic!("{ctx}: write ack on a read-only probe")
+                }
             }
             answers.push(served.value);
         }
