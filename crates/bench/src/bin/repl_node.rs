@@ -120,6 +120,7 @@ fn master(args: &BenchArgs) {
         listener.local_addr()
     );
 
+    // fg-lint: allow(blessed-io): bench harness golden-file artifact; CI compares contents, crash-durability is not at stake
     let mut golden_file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)

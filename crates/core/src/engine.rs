@@ -223,6 +223,7 @@ impl ForgivingGraph {
     /// A `None` clock (profiling off) costs one branch.
     fn lap(&mut self, clock: &mut Option<std::time::Instant>, phase: Phase) {
         if let (Some(times), Some(t)) = (self.profile.as_mut(), clock.as_mut()) {
+            // fg-lint: allow(determinism): opt-in profiling clock; elapsed times feed PhaseTimes only, never a digest
             let now = std::time::Instant::now();
             let secs = now.duration_since(*t).as_secs_f64();
             *t = now;
@@ -404,6 +405,7 @@ impl ForgivingGraph {
         if neighbors.is_empty() {
             return Err(EngineError::EmptyNeighbourhood);
         }
+        // fg-lint: allow(determinism): opt-in profiling clock; elapsed times feed PhaseTimes only, never a digest
         let mut clock = self.profile.is_some().then(std::time::Instant::now);
         let mut seen = SortedSet::new();
         for &x in neighbors {
@@ -466,6 +468,7 @@ impl ForgivingGraph {
         if !self.is_alive(v) {
             return Err(EngineError::NotAlive(v));
         }
+        // fg-lint: allow(determinism): opt-in profiling clock; elapsed times feed PhaseTimes only, never a digest
         let mut clock = self.profile.is_some().then(std::time::Instant::now);
         let before = self.stats;
         let nodes_ever = self.nodes_ever();

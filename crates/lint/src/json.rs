@@ -1,0 +1,92 @@
+//! Minimal JSON emission for the findings artifact (the workspace's
+//! serde is an offline stub, and the analyzer stays dependency-free).
+
+use crate::engine::{Finding, Report};
+use std::fmt::Write as _;
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn finding(f: &Finding, out: &mut String) {
+    out.push_str("    {\"rule\": ");
+    escape(f.rule, out);
+    out.push_str(", \"path\": ");
+    escape(&f.path, out);
+    let _ = write!(out, ", \"line\": {}, \"message\": ", f.line);
+    escape(&f.message, out);
+    out.push_str(", \"snippet\": ");
+    escape(&f.snippet, out);
+    out.push('}');
+}
+
+fn finding_list(findings: &[Finding], out: &mut String) {
+    if findings.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push_str("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        finding(f, out);
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]");
+}
+
+/// Renders a whole report as the machine-readable findings artifact:
+/// the gate bit, per-rule violation/suppression counts (every rule
+/// present even at zero, so artifact diffs across PRs line up), and
+/// both finding lists.
+pub fn report_to_json(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    let _ = write!(
+        out,
+        "  \"tool\": \"fg-lint\",\n  \"clean\": {},\n  \"files_scanned\": {},\n",
+        report.is_clean(),
+        report.files_scanned
+    );
+    let _ = write!(
+        out,
+        "  \"total_violations\": {},\n  \"total_suppressed\": {},\n",
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    out.push_str("  \"counts\": {\n");
+    let counts = report.rule_counts();
+    for (i, (rule, (violations, suppressed))) in counts.iter().enumerate() {
+        out.push_str("    ");
+        escape(rule, &mut out);
+        let _ = write!(
+            out,
+            ": {{\"violations\": {violations}, \"suppressed\": {suppressed}}}"
+        );
+        if i + 1 < counts.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  },\n  \"findings\": ");
+    finding_list(&report.findings, &mut out);
+    out.push_str(",\n  \"suppressed\": ");
+    finding_list(&report.suppressed, &mut out);
+    out.push_str("\n}\n");
+    out
+}

@@ -1,0 +1,520 @@
+//! A lightweight, line-oriented Rust lexer for rule matching.
+//!
+//! The rules in [`crate::rules`] are substring matchers, so the one job
+//! of this module is to make substring matching *sound*: a pattern like
+//! `.unwrap()` must never fire inside a string literal, a comment, or a
+//! char literal, and must be attributable to "test code" vs "shipping
+//! code" and to the enclosing item. The lexer therefore produces, per
+//! source line:
+//!
+//! * `code` — the line with every comment and every string/char-literal
+//!   *interior* blanked to spaces (delimiters kept), so byte columns in
+//!   findings still point at the original source;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item or
+//!   a `mod tests { .. }` block;
+//! * `items` — the stack of named enclosing items (`mod`/`fn`/`impl`/
+//!   `trait` names), innermost last, for zone scoping ("only these
+//!   functions are panic-free");
+//! * inline suppressions parsed out of `//` comments
+//!   (see [`Suppression`]).
+//!
+//! This is a *lexer*, not a parser: it tracks exactly the token-level
+//! state (string kinds, nested block comments, raw-string hash counts,
+//! char-vs-lifetime disambiguation, brace depth) needed for the above,
+//! and nothing more. The property suite
+//! (`crates/lint/tests/lexer_properties.rs`) pins the soundness claim:
+//! rule patterns embedded in literals or comments never survive into
+//! `code`, and patterns in real code always do.
+
+/// One inline suppression comment:
+/// `// fg-lint: allow(<rule>[, <rule>...]): <reason>`.
+///
+/// A suppression with an empty reason, or naming no rule, is itself a
+/// finding (`bad-suppression`) — every exception must say why it is one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based source line the comment sits on.
+    pub line: usize,
+    /// The rule names inside `allow(...)`, trimmed.
+    pub rules: Vec<String>,
+    /// The reason after the closing `):`, trimmed (may be empty —
+    /// which `bad-suppression` then fires on).
+    pub reason: String,
+    /// Whether code precedes the comment on its line (a trailing
+    /// suppression applies to its own line; a standalone one applies to
+    /// the next code-bearing line).
+    pub trailing: bool,
+    /// The raw comment text, for diagnostics.
+    pub raw: String,
+}
+
+/// One lexed source line.
+#[derive(Debug, Clone)]
+pub struct LexedLine {
+    /// The source line with comments and literal interiors blanked.
+    pub code: String,
+    /// Inside `#[cfg(test)]` scope or a `mod tests` block.
+    pub in_test: bool,
+    /// Names of the enclosing `mod`/`fn`/`impl`/`trait` items,
+    /// outermost first, as they stood at the *start* of the line.
+    pub items: Vec<String>,
+}
+
+/// A fully lexed file: blanked lines plus every suppression comment.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// One entry per source line, in order.
+    pub lines: Vec<LexedLine>,
+    /// Every `fg-lint:` suppression comment found, in line order.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl LexedFile {
+    /// Whether any enclosing item of `line` (1-based) matches one of
+    /// `names` — the zone test for item-scoped rules.
+    pub fn line_in_items(&self, line: usize, names: &[&str]) -> bool {
+        self.lines
+            .get(line - 1)
+            .is_some_and(|l| l.items.iter().any(|i| names.contains(&i.as_str())))
+    }
+}
+
+/// Character-level lexing state.
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside `/* .. */`, tracking nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string (escapes honoured).
+    Str,
+    /// Inside an `r##"…"##` raw string with this many hashes.
+    RawStr(u32),
+    /// Inside a `'…'` char literal (escapes honoured).
+    Char,
+}
+
+/// Lexes a whole source file. Never fails: garbage input just lexes to
+/// garbage lines — the rules only ever see blanked code, so the worst a
+/// confused state machine can do on non-Rust input is blank too much,
+/// never attribute literal text to code on a *valid* Rust file (the
+/// property the lexer suite pins).
+pub fn lex(source: &str) -> LexedFile {
+    let (blanked, comments) = blank_literals_and_comments(source);
+    let suppressions = collect_suppressions(source, &blanked, &comments);
+    let lines = attribute_scopes(&blanked);
+    LexedFile {
+        lines,
+        suppressions,
+    }
+}
+
+/// A `//` comment found during blanking: which line (0-based), the byte
+/// column of the `//`, and whether it is a doc comment (`///` / `//!`).
+struct LineComment {
+    line: usize,
+    col: usize,
+    doc: bool,
+}
+
+/// Pass 1: blank comment text and literal interiors, preserving line
+/// structure and byte columns (every blanked char becomes one space;
+/// multi-byte chars become one space per byte to keep columns stable).
+/// Also records every `//` comment so suppression parsing can consider
+/// exactly comment text — never string contents.
+fn blank_literals_and_comments(source: &str) -> (Vec<String>, Vec<LineComment>) {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut comments = Vec::new();
+    let mut line = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    // Pushes `n` spaces (blanked content).
+    fn pad(line: &mut String, n: usize) {
+        for _ in 0..n {
+            line.push(' ');
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            // A line break ends a line comment implicitly; other states
+            // persist across lines (block comments, raw strings, and —
+            // leniently — normal strings/chars, which cannot really span
+            // lines but blanking on is the safe direction).
+            out.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                match b {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        // Line comment: record it, blank through end of
+                        // line.
+                        comments.push(LineComment {
+                            line: out.len(),
+                            col: line.len(),
+                            doc: matches!(bytes.get(i + 2), Some(&b'/') | Some(&b'!')),
+                        });
+                        let end = source[i..].find('\n').map_or(bytes.len(), |off| i + off);
+                        pad(&mut line, end - i);
+                        i = end;
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        line.push_str("  ");
+                        i += 2;
+                        state = State::Block(1);
+                    }
+                    b'"' => {
+                        line.push('"');
+                        i += 1;
+                        state = State::Str;
+                    }
+                    b'r' | b'b' | b'c' => {
+                        // Possible raw/byte/C string prefix: r", br", r#…".
+                        if let Some((hashes, consumed)) = raw_string_open(&bytes[i..]) {
+                            pad(&mut line, consumed);
+                            i += consumed;
+                            state = State::RawStr(hashes);
+                        } else if (b == b'b' || b == b'c')
+                            && bytes.get(i + 1) == Some(&b'"')
+                            && !prev_is_ident(bytes, i)
+                        {
+                            line.push(b as char);
+                            line.push('"');
+                            i += 2;
+                            state = State::Str;
+                        } else if b == b'b'
+                            && bytes.get(i + 1) == Some(&b'\'')
+                            && !prev_is_ident(bytes, i)
+                        {
+                            line.push('b');
+                            line.push('\'');
+                            i += 2;
+                            state = State::Char;
+                        } else {
+                            line.push(b as char);
+                            i += 1;
+                        }
+                    }
+                    b'\'' => {
+                        // Char literal vs lifetime. A char literal is
+                        // `'x'` or `'\…'`; a lifetime is `'ident` with no
+                        // closing quote right after one char.
+                        if is_char_literal(bytes, i) {
+                            line.push('\'');
+                            i += 1;
+                            state = State::Char;
+                        } else {
+                            line.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        // Non-ASCII code bytes (unicode identifiers) are
+                        // blanked byte-for-byte: no rule pattern contains
+                        // them, and one output byte per input byte keeps
+                        // raw and blanked columns aligned.
+                        line.push(if b.is_ascii() { b as char } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            State::Block(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    pad(&mut line, 2);
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    pad(&mut line, 2);
+                    i += 2;
+                    state = State::Block(depth + 1);
+                } else {
+                    pad(&mut line, 1);
+                    i += 1;
+                }
+            }
+            State::Str => match b {
+                b'\\' if bytes.get(i + 1) == Some(&b'\n') => {
+                    // String line-continuation: consume only the
+                    // backslash so the newline keeps its line break.
+                    pad(&mut line, 1);
+                    i += 1;
+                }
+                b'\\' => {
+                    pad(&mut line, 2.min(bytes.len() - i));
+                    i += 2.min(bytes.len() - i);
+                }
+                b'"' => {
+                    line.push('"');
+                    i += 1;
+                    state = State::Code;
+                }
+                _ => {
+                    pad(&mut line, 1);
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(&bytes[i..], hashes) {
+                    pad(&mut line, 1 + hashes as usize);
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    pad(&mut line, 1);
+                    i += 1;
+                }
+            }
+            State::Char => match b {
+                b'\\' if bytes.get(i + 1) == Some(&b'\n') => {
+                    pad(&mut line, 1);
+                    i += 1;
+                }
+                b'\\' => {
+                    pad(&mut line, 2.min(bytes.len() - i));
+                    i += 2.min(bytes.len() - i);
+                }
+                b'\'' => {
+                    line.push('\'');
+                    i += 1;
+                    state = State::Code;
+                }
+                _ => {
+                    pad(&mut line, 1);
+                    i += 1;
+                }
+            },
+        }
+    }
+    out.push(line);
+    (out, comments)
+}
+
+/// Whether the byte before `i` continues an identifier (so `br` in
+/// `abr"` is not a byte-string prefix).
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// If `rest` opens a raw (byte/C) string — `r"`, `r#"`, `br##"`, … —
+/// returns `(hash_count, bytes_consumed_through_quote)`.
+fn raw_string_open(rest: &[u8]) -> Option<(u32, usize)> {
+    let mut j = 0;
+    if rest.first() == Some(&b'b') || rest.first() == Some(&b'c') {
+        j = 1;
+    }
+    if rest.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while rest.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if rest.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether `"` at the head of `rest` followed by `hashes` `#`s closes
+/// the raw string.
+fn closes_raw(rest: &[u8], hashes: u32) -> bool {
+    let h = hashes as usize;
+    rest.len() > h && rest[1..=h].iter().all(|&b| b == b'#')
+}
+
+/// Whether the `'` at `bytes[i]` opens a char literal (as opposed to a
+/// lifetime). `'\…'` always; `'x'` when a closing quote follows one
+/// char; `'a` with no closing quote is a lifetime.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Pass 2: parse suppression comments out of the `//` comments the
+/// blanking pass recorded. Only a plain (non-doc) line comment whose
+/// text *starts* with `fg-lint:` is a marker — doc comments and string
+/// literals mentioning the syntax are just prose/data, and a comment
+/// that merely mentions fg-lint mid-sentence is not an allow.
+fn collect_suppressions(
+    source: &str,
+    blanked: &[String],
+    comments: &[LineComment],
+) -> Vec<Suppression> {
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let Some(raw_line) = raw_lines.get(c.line) else {
+            continue;
+        };
+        // Comment text after the `//`.
+        let text = raw_line.get(c.col + 2..).unwrap_or("").trim_start();
+        let Some(body) = text.strip_prefix("fg-lint:") else {
+            continue;
+        };
+        let body = body.trim_start();
+        let blank = &blanked[c.line];
+        let Some(args) = body.strip_prefix("allow") else {
+            // An fg-lint: marker that is not an allow is malformed;
+            // surface it so typos cannot silently disable nothing.
+            out.push(Suppression {
+                line: c.line + 1,
+                rules: Vec::new(),
+                reason: String::new(),
+                trailing: line_has_code(blank, c.col),
+                raw: raw_line.trim().to_string(),
+            });
+            continue;
+        };
+        let args = args.trim_start();
+        let (rules, reason) = match args.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((inside, after)) => {
+                let rules: Vec<String> = inside
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                let reason = after
+                    .trim_start()
+                    .strip_prefix(':')
+                    .map_or(String::new(), |r| r.trim().to_string());
+                (rules, reason)
+            }
+            None => (Vec::new(), String::new()),
+        };
+        out.push(Suppression {
+            line: c.line + 1,
+            rules,
+            reason,
+            trailing: line_has_code(blank, c.col),
+            raw: raw_line.trim().to_string(),
+        });
+    }
+    out
+}
+
+/// Whether any non-whitespace code precedes byte `before` on a blanked
+/// line.
+fn line_has_code(blanked: &str, before: usize) -> bool {
+    blanked
+        .as_bytes()
+        .iter()
+        .take(before)
+        .any(|b| !b.is_ascii_whitespace())
+}
+
+/// Pass 3: walk the blanked lines tracking brace depth, named items,
+/// and `#[cfg(test)]` / `mod tests` scopes.
+fn attribute_scopes(blanked: &[String]) -> Vec<LexedLine> {
+    /// One entry per open `{`.
+    struct Scope {
+        /// `mod`/`fn`/`impl`/`trait` name, if the brace opened an item.
+        name: Option<String>,
+        /// Whether this scope is test code.
+        test: bool,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Set by `#[cfg(test)]` / `mod tests` / an item keyword, consumed by
+    // the next `{` (or cleared by `;`, e.g. `#[cfg(test)] use x;`).
+    let mut pending_test = false;
+    let mut pending_name: Option<String> = None;
+    let mut out = Vec::new();
+
+    for line in blanked {
+        let items: Vec<String> = scopes.iter().filter_map(|s| s.name.clone()).collect();
+        let in_test = scopes.iter().any(|s| s.test) || pending_test;
+        out.push(LexedLine {
+            code: line.clone(),
+            in_test,
+            items,
+        });
+
+        // Token scan of the blanked line.
+        let mut rest = line.as_str();
+        while !rest.is_empty() {
+            if let Some(stripped) = rest.strip_prefix("#[") {
+                // Attribute: look for cfg(test) within this attribute's
+                // brackets (flat scan is enough for `#[cfg(test)]` and
+                // `#[cfg(all(test, …))]`).
+                if let Some(end) = stripped.find(']') {
+                    if stripped[..end].contains("cfg(test")
+                        || stripped[..end].contains("cfg(all(test")
+                    {
+                        pending_test = true;
+                    }
+                    rest = &stripped[end + 1..];
+                    continue;
+                }
+                if stripped.contains("cfg(test") {
+                    pending_test = true;
+                }
+                rest = "";
+                continue;
+            }
+            let mut chars = rest.char_indices();
+            let Some((_, c)) = chars.next() else { break };
+            match c {
+                '{' => {
+                    let name = pending_name.take();
+                    let test = pending_test || name.as_deref() == Some("tests");
+                    pending_test = false;
+                    scopes.push(Scope { name, test });
+                    rest = &rest[1..];
+                }
+                '}' => {
+                    scopes.pop();
+                    rest = &rest[1..];
+                }
+                ';' => {
+                    // An item ended without a body: clear pendings.
+                    pending_name = None;
+                    pending_test = false;
+                    rest = &rest[1..];
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let end = rest
+                        .char_indices()
+                        .find(|&(_, ch)| !(ch.is_alphanumeric() || ch == '_'))
+                        .map_or(rest.len(), |(j, _)| j);
+                    let word = &rest[..end];
+                    match word {
+                        "mod" | "fn" | "impl" | "trait" => {
+                            // The next identifier names the item (for
+                            // `impl`, the type name — good enough for
+                            // zone attribution).
+                            let after = rest[end..].trim_start();
+                            let name_end = after
+                                .char_indices()
+                                .find(|&(_, ch)| !(ch.is_alphanumeric() || ch == '_'))
+                                .map_or(after.len(), |(j, _)| j);
+                            if name_end > 0 {
+                                pending_name = Some(after[..name_end].to_string());
+                            }
+                        }
+                        _ => {}
+                    }
+                    rest = &rest[end..];
+                }
+                _ => {
+                    rest = &rest[c.len_utf8()..];
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,36 @@
+//! fg-lint: repository-specific static analysis for the forgiving-graph
+//! workspace.
+//!
+//! This crate turns the invariants this repository has paid for in past
+//! bugs into machine-checked rules: panic-freedom on the serve/recovery
+//! paths, fsync-aware blessed I/O wrappers, poison-safe lock recovery,
+//! bit-determinism in digest-bearing crates, and no silently swallowed
+//! `Result`s on durability paths. DESIGN.md §15 documents each rule and
+//! the incident that motivated it.
+//!
+//! The analyzer is deliberately lightweight: a lexer ([`lexer`]) blanks
+//! string/char-literal interiors and comments (column-preserving) and
+//! attributes each line to its enclosing items and `#[cfg(test)]`
+//! regions, so the rule engine ([`engine`]) can match substring patterns
+//! soundly against *code only*. Exceptions are inline and audited:
+//!
+//! ```text
+//! // fg-lint: allow(<rule>[, <rule>]): <reason>
+//! ```
+//!
+//! A suppression must name a known rule, carry a non-empty reason, and
+//! actually suppress something — anything else is itself a finding
+//! (`bad-suppression`). `#![forbid(unsafe_code)]` presence on crate
+//! roots is checked and cannot be suppressed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, analyze_tree, Finding, Report};
+pub use json::report_to_json;
+pub use rules::{ALL_RULE_NAMES, RULES};

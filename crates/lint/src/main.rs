@@ -1,0 +1,103 @@
+//! The `fg-lint` binary: walks the workspace, applies the rule catalog,
+//! prints findings, and exits non-zero when the tree is dirty.
+//!
+//! ```text
+//! fg-lint [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! `--json PATH` writes the machine-readable findings artifact (per-rule
+//! violation/suppression counts plus every finding) whether or not the
+//! tree is clean, so CI can always upload it.
+
+#![forbid(unsafe_code)]
+
+use fg_lint::{analyze_tree, report_to_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root requires a directory".to_string())?,
+                );
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--json requires a path".to_string())?,
+                ));
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!("usage: fg-lint [--root DIR] [--json PATH] [--quiet]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match analyze_tree(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fg-lint: failed to scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report_to_json(&report)) {
+            eprintln!("fg-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        let counts = report.rule_counts();
+        println!(
+            "fg-lint: {} file(s) scanned, {} violation(s), {} suppressed",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len()
+        );
+        for (rule, (violations, suppressed)) in &counts {
+            if *violations > 0 || *suppressed > 0 {
+                println!("  {rule}: {violations} violation(s), {suppressed} suppressed");
+            }
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

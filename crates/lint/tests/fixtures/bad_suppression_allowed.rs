@@ -1,0 +1,6 @@
+use std::io::Write;
+
+pub fn farewell(stream: &mut impl Write, frame: &[u8]) {
+    // fg-lint: allow(swallowed-results): best-effort farewell right before the connection closes
+    let _ = stream.write_all(frame);
+}

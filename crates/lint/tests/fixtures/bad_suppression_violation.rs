@@ -1,0 +1,4 @@
+pub fn bump(counter: &std::sync::Mutex<u64>) -> u64 {
+    // fg-lint: allow(poison-safe-locks)
+    *counter.lock().unwrap_or_else(|e| e.into_inner())
+}

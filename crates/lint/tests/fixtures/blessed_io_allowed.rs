@@ -1,0 +1,8 @@
+use std::fs::File;
+use std::io::Write;
+
+pub fn persist_durably(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)?;
+    file.sync_all()
+}

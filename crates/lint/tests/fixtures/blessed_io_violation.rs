@@ -1,0 +1,7 @@
+use std::fs::File;
+use std::io::Write;
+
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)
+}

@@ -1,0 +1,7 @@
+pub fn count_distinct(keys: &[u32]) -> usize {
+    let mut seen = std::collections::HashMap::new(); // fg-lint: allow(determinism): iteration order is never observed, only the final length
+    for &k in keys {
+        seen.insert(k, ());
+    }
+    seen.len()
+}

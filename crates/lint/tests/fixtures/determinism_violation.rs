@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn count_distinct(keys: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *seen.entry(k).or_insert(0) += 1;
+    }
+    seen.len()
+}

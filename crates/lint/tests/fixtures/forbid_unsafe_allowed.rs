@@ -1,0 +1,7 @@
+//! A crate root carrying the workspace safety pledge.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

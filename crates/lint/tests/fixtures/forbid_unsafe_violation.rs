@@ -1,0 +1,5 @@
+//! A crate root that forgot the workspace safety pledge.
+
+pub fn answer() -> u32 {
+    42
+}

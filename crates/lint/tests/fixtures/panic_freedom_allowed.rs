@@ -1,0 +1,12 @@
+pub fn parse(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_test_code() {
+        let raw: [u8; 4] = [1u8, 2, 3, 4][..].try_into().unwrap();
+        assert_eq!(u32::from_le_bytes(raw), 0x0403_0201);
+    }
+}

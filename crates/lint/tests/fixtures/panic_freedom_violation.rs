@@ -1,0 +1,4 @@
+pub fn parse(payload: &[u8]) -> u32 {
+    let raw: [u8; 4] = payload[..4].try_into().unwrap();
+    u32::from_le_bytes(raw)
+}

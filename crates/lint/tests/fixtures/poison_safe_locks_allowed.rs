@@ -1,0 +1,7 @@
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut guard = counter.lock().unwrap_or_else(|e| e.into_inner());
+    *guard += 1;
+    *guard
+}

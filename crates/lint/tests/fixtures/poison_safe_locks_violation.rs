@@ -1,0 +1,7 @@
+use std::sync::Mutex;
+
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut guard = counter.lock().unwrap();
+    *guard += 1;
+    *guard
+}

@@ -1,0 +1,4 @@
+pub fn probe(path: &std::path::Path) -> std::io::Result<()> {
+    let _ = std::fs::metadata(path)?;
+    Ok(())
+}

@@ -1,0 +1,3 @@
+pub fn sweep(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+}

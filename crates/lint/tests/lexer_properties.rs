@@ -1,0 +1,155 @@
+//! The lexer soundness property: rule patterns embedded inside string
+//! literals or comments never survive into the blanked `code` the rule
+//! engine matches against, and the same patterns written as real code
+//! always do. This is the claim that makes substring rules sound.
+
+use fg_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Every substring pattern any rule matches on.
+fn all_patterns() -> Vec<&'static str> {
+    fg_lint::RULES
+        .iter()
+        .flat_map(|r| r.patterns.iter().copied())
+        .collect()
+}
+
+/// Maps a sample byte into an alphabet that cannot open or close any
+/// lexer state (no quotes, slashes, backslashes, or asterisks), so the
+/// noise around the embedded pattern never changes what encloses it.
+fn noise(samples: &[u8]) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_ ";
+    samples
+        .iter()
+        .map(|&b| ALPHABET[b as usize % ALPHABET.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn patterns_in_literals_and_comments_never_reach_code(
+        pat_pick in 0usize..1024,
+        ctx in 0u8..4,
+        pre in prop::collection::vec(any::<u8>(), 0..12),
+        post in prop::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let patterns = all_patterns();
+        let pattern = patterns[pat_pick % patterns.len()];
+        let (pre, post) = (noise(&pre), noise(&post));
+        let source = match ctx {
+            0 => format!("fn f() {{\n    let x = 1; // {pre}{pattern}{post}\n}}\n"),
+            1 => format!("fn f() {{\n    /* {pre}{pattern}{post} */ let x = 1;\n}}\n"),
+            2 => format!("fn f() {{\n    let s = \"{pre}{pattern}{post}\";\n}}\n"),
+            _ => format!("fn f() {{\n    let s = r#\"{pre}{pattern}{post}\"#;\n}}\n"),
+        };
+        let lexed = lex(&source);
+        for (idx, line) in lexed.lines.iter().enumerate() {
+            prop_assert!(
+                !line.code.contains(pattern),
+                "pattern {pattern:?} leaked into code on line {} of:\n{source}\nblanked: {:?}",
+                idx + 1,
+                line.code
+            );
+        }
+    }
+
+    #[test]
+    fn patterns_in_code_always_survive(
+        pat_pick in 0usize..1024,
+        pre in prop::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let patterns = all_patterns();
+        let pattern = patterns[pat_pick % patterns.len()];
+        let pre = noise(&pre);
+        // The pattern on a genuine code line, wrapped in decoy comment
+        // and string lines that also carry it.
+        let source = format!(
+            "// {pattern} in a comment\nfn f() {{\n    {pre}{pattern}\n    let s = \"{pattern}\";\n}}\n"
+        );
+        let lexed = lex(&source);
+        prop_assert!(
+            lexed.lines[2].code.contains(pattern),
+            "pattern {pattern:?} vanished from the code line of:\n{source}\nblanked: {:?}",
+            lexed.lines[2].code
+        );
+        prop_assert!(!lexed.lines[0].code.contains(pattern));
+        prop_assert!(!lexed.lines[3].code.contains(pattern));
+    }
+
+    #[test]
+    fn blanking_preserves_line_count_and_width(
+        pre in prop::collection::vec(any::<u8>(), 0..24),
+        mid in prop::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let (pre, mid) = (noise(&pre), noise(&mid));
+        let source = format!(
+            "fn f() {{\n    let a = \"{pre}\"; // {mid}\n    let b = '{{';\n}}\n"
+        );
+        let lexed = lex(&source);
+        let raw_lines: Vec<&str> = source.lines().collect();
+        prop_assert_eq!(lexed.lines.len(), raw_lines.len() + 1); // trailing newline
+        for (raw, lexed_line) in raw_lines.iter().zip(&lexed.lines) {
+            prop_assert_eq!(
+                raw.len(),
+                lexed_line.code.len(),
+                "blanking changed the byte width of {raw:?} -> {:?}",
+                lexed_line.code
+            );
+        }
+    }
+}
+
+#[test]
+fn test_modules_are_attributed() {
+    let source = "\
+fn shipping() {
+    val.unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        val.unwrap();
+    }
+}
+";
+    let lexed = lex(source);
+    assert!(!lexed.lines[1].in_test, "shipping body marked as test");
+    assert!(lexed.lines[7].in_test, "tests body not marked as test");
+}
+
+#[test]
+fn item_stacks_name_enclosing_functions() {
+    let source = "\
+mod outer {
+    fn alpha() {
+        touch();
+    }
+    fn beta() {
+        touch();
+    }
+}
+";
+    let lexed = lex(source);
+    assert!(lexed.line_in_items(3, &["alpha"]));
+    assert!(!lexed.line_in_items(3, &["beta"]));
+    assert!(lexed.line_in_items(6, &["beta"]));
+    assert!(lexed.line_in_items(6, &["outer"]));
+}
+
+#[test]
+fn nested_block_comments_blank_fully() {
+    let source = "fn f() {\n    /* outer /* inner.unwrap() */ still comment */ code();\n}\n";
+    let lexed = lex(source);
+    assert!(!lexed.lines[1].code.contains(".unwrap()"));
+    assert!(lexed.lines[1].code.contains("code()"));
+}
+
+#[test]
+fn lifetimes_do_not_open_char_literals() {
+    let source = "fn f<'a>(x: &'a str) -> &'a str {\n    x.trim().unwrap_or(x)\n}\n";
+    let lexed = lex(source);
+    // If 'a were lexed as an unterminated char literal, the body would
+    // be blanked away.
+    assert!(lexed.lines[1].code.contains("trim()"));
+}

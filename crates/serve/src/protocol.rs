@@ -236,7 +236,7 @@ impl Request {
                 ),
             ));
         }
-        let id = u64::from_le_bytes(payload[5..13].try_into().expect("8 bytes"));
+        let id = u64::from_le_bytes(arr(&payload[5..13]));
         let op = payload[13];
         let args = &payload[14..];
         let one = |args: &[u8]| -> Result<NodeId, String> {
@@ -246,9 +246,7 @@ impl Request {
                     args.len()
                 ));
             }
-            Ok(NodeId::new(u32::from_le_bytes(
-                args.try_into().expect("4 bytes"),
-            )))
+            Ok(NodeId::new(u32::from_le_bytes(arr(args))))
         };
         let two = |args: &[u8]| -> Result<(NodeId, NodeId), String> {
             if args.len() != 8 {
@@ -258,8 +256,8 @@ impl Request {
                 ));
             }
             Ok((
-                NodeId::new(u32::from_le_bytes(args[..4].try_into().expect("4 bytes"))),
-                NodeId::new(u32::from_le_bytes(args[4..].try_into().expect("4 bytes"))),
+                NodeId::new(u32::from_le_bytes(arr(&args[..4]))),
+                NodeId::new(u32::from_le_bytes(arr(&args[4..]))),
             ))
         };
         let request = match op {
@@ -278,16 +276,12 @@ impl Request {
             6 => two(args).map(|(u, v)| Request::SameComponent(u, v)),
             7 => decode_events(args)
                 .map_err(|detail| format!("submit-event list does not decode: {detail}"))
-                .and_then(|events| {
-                    let mut events = events;
-                    if events.len() == 1 {
-                        Ok(Request::SubmitEvent(events.pop().expect("one event")))
-                    } else {
-                        Err(format!(
-                            "submit-event takes exactly one event, got {}",
-                            events.len()
-                        ))
-                    }
+                .and_then(|mut events| match (events.pop(), events.is_empty()) {
+                    (Some(event), true) => Ok(Request::SubmitEvent(event)),
+                    (popped, _) => Err(format!(
+                        "submit-event takes exactly one event, got {}",
+                        events.len() + usize::from(popped.is_some())
+                    )),
                 }),
             8 => decode_events(args)
                 .map(Request::SubmitBatch)
@@ -544,8 +538,8 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
 /// exceeds [`MAX_FRAME_PAYLOAD`] — the one violation detectable before
 /// reading the payload.
 pub fn parse_frame_header(header: [u8; 8]) -> Result<(usize, u32), (ErrorCode, String)> {
-    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(arr(&header[..4])) as usize;
+    let crc = u32::from_le_bytes(arr(&header[4..]));
     if len > MAX_FRAME_PAYLOAD {
         return Err((
             ErrorCode::Oversized,
@@ -569,6 +563,19 @@ pub fn verify_frame(payload: &[u8], crc: u32) -> Result<(), (ErrorCode, String)>
         ));
     }
     Ok(())
+}
+
+/// Copies up to `N` leading bytes of `src` into a fixed array without a
+/// panic path (`zip` stops at the shorter side). Every caller checks the
+/// length first; a short `src` would zero-fill the tail rather than
+/// panic — protocol parsing must never take down a worker (panic-freedom
+/// invariant, DESIGN.md §15).
+fn arr<const N: usize>(src: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, byte) in out.iter_mut().zip(src) {
+        *dst = *byte;
+    }
+    out
 }
 
 /// A bounds-checked little-endian payload reader.
@@ -601,21 +608,15 @@ impl<'a> Dec<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ServeError> {
-        Ok(u16::from_le_bytes(
-            self.bytes(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(arr(self.bytes(2)?)))
     }
 
     fn u32(&mut self) -> Result<u32, ServeError> {
-        Ok(u32::from_le_bytes(
-            self.bytes(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(arr(self.bytes(4)?)))
     }
 
     fn u64(&mut self) -> Result<u64, ServeError> {
-        Ok(u64::from_le_bytes(
-            self.bytes(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(arr(self.bytes(8)?)))
     }
 
     /// `[presence][count][ids...]` — the optional node-list shape.

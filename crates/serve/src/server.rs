@@ -18,6 +18,7 @@
 use crate::protocol::{parse_frame_header, verify_frame, ErrorCode, Request, Response};
 use crate::snapshot::SnapshotHub;
 use crate::write::{WriteAck, WriteJob};
+use fg_core::NetworkEvent;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
@@ -224,9 +225,11 @@ impl Server {
         // join behind a wildcard bind.
         fg_store::repl::wake_acceptor(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
+            // fg-lint: allow(swallowed-results): a panicked acceptor already counted; shutdown must still drain the workers
             let _ = acceptor.join();
         }
         for worker in self.workers.drain(..) {
+            // fg-lint: allow(swallowed-results): worker panics are counted per-connection; join here only waits for exit
             let _ = worker.join();
         }
     }
@@ -316,6 +319,7 @@ fn reject_shutting_down(mut stream: TcpStream, hub: &SnapshotHub) {
         ErrorCode::ShuttingDown,
         "server is shutting down",
     );
+    // fg-lint: allow(swallowed-results): best-effort farewell to a peer we are about to close anyway
     let _ = stream.write_all(&frame);
 }
 
@@ -365,8 +369,15 @@ fn serve_connection(
     writer: &Option<SyncSender<WriteJob>>,
     panic_on: Option<u64>,
 ) {
+    // fg-lint: allow(swallowed-results): nodelay is a latency hint; serving correctly without it beats dropping the connection
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(timeout));
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        // Without a read timeout, read_full cannot poll the shutdown
+        // flag and this connection could pin its worker forever — drop
+        // it rather than serve unboundedly.
+        stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     loop {
         // Frame header: [len][crc].
         let mut header = [0u8; 8];
@@ -402,21 +413,54 @@ fn serve_connection(
         match Request::parse(&payload) {
             Ok((request_id, request)) => {
                 if panic_on == Some(request_id) {
+                    // fg-lint: allow(panic-freedom): the torture suite's deliberate crash hook — this panic IS the fault being injected
                     panic!("crash hook: panicking on request id {request_id}");
                 }
-                if request.is_write() {
-                    if !serve_write(&mut stream, hub, stats, writer, request_id, &request) {
-                        return;
+                // Write ops are destructured here so serve_write takes
+                // the events themselves — no "is it really a write?"
+                // branch can be reached downstream.
+                let request = match request {
+                    Request::SubmitEvent(event) => {
+                        if !serve_write(
+                            &mut stream,
+                            hub,
+                            stats,
+                            writer,
+                            request_id,
+                            vec![event],
+                            true,
+                        ) {
+                            return;
+                        }
+                        continue;
                     }
-                    continue;
-                }
+                    Request::SubmitBatch(events) => {
+                        if !serve_write(&mut stream, hub, stats, writer, request_id, events, false)
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                    read_op => read_op,
+                };
                 // Pin once per request: the whole answer — including the
                 // stamp — comes from one published snapshot, whatever
                 // the writer does meanwhile.
                 let snapshot = hub.pin();
-                let body = snapshot
-                    .answer(&request)
-                    .expect("write ops are routed before answering");
+                let Some(body) = snapshot.answer(&request) else {
+                    // Unreachable by construction (writes peeled off
+                    // above), but a refused answer must degrade to an
+                    // error frame, never a panic.
+                    send_protocol_error(
+                        &mut stream,
+                        hub,
+                        stats,
+                        request_id,
+                        ErrorCode::Malformed,
+                        "request reached the read path without a read answer",
+                    );
+                    return;
+                };
                 let frame = Response::ok_frame(request_id, snapshot.epoch, snapshot.digest, &body);
                 if stream.write_all(&frame).is_err() {
                     stats.disconnects.fetch_add(1, Ordering::Relaxed);
@@ -449,7 +493,8 @@ fn serve_write(
     stats: &ServerStats,
     writer: &Option<SyncSender<WriteJob>>,
     request_id: u64,
-    request: &Request,
+    events: Vec<NetworkEvent>,
+    single: bool,
 ) -> bool {
     let Some(writer) = writer else {
         return send_op_error(
@@ -460,11 +505,6 @@ fn serve_write(
             ErrorCode::NotMaster,
             "this node is a read replica; submit writes to the master",
         );
-    };
-    let events = match request {
-        Request::SubmitEvent(event) => vec![event.clone()],
-        Request::SubmitBatch(events) => events.clone(),
-        _ => unreachable!("serve_write is only called for write ops"),
     };
     let (reply_tx, reply_rx) = channel();
     let job = WriteJob {
@@ -483,9 +523,10 @@ fn serve_write(
             epoch,
             digest,
         }) => {
-            let body = match request {
-                Request::SubmitEvent(_) => crate::protocol::ResponseBody::EventSubmitted,
-                _ => crate::protocol::ResponseBody::BatchSubmitted(applied as u32),
+            let body = if single {
+                crate::protocol::ResponseBody::EventSubmitted
+            } else {
+                crate::protocol::ResponseBody::BatchSubmitted(applied as u32)
             };
             // The stamp on a write ack is the writer's post-publish
             // (epoch, digest) — the state the write landed in, not
@@ -543,5 +584,6 @@ fn send_protocol_error(
     stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
     let snapshot = hub.pin();
     let frame = Response::error_frame(request_id, snapshot.epoch, snapshot.digest, code, detail);
+    // fg-lint: allow(swallowed-results): the connection closes right after this frame; a failed farewell changes nothing
     let _ = stream.write_all(&frame);
 }

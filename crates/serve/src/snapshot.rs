@@ -136,7 +136,9 @@ impl SnapshotHub {
     /// exactly that epoch alive for as long as the caller holds it,
     /// regardless of how many newer epochs are published meanwhile.
     pub fn pin(&self) -> Arc<ServeSnapshot> {
-        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+        // Poison-safe: the lock only guards an Arc pointer swap, which a
+        // panicking publisher cannot leave half-done.
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// The currently published epoch, lock-free.
@@ -149,10 +151,12 @@ impl SnapshotHub {
     /// pins see `snapshot`.
     pub fn publish(&self, snapshot: ServeSnapshot) {
         let epoch = snapshot.epoch;
-        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        // Poison-safe: both locks guard single replaceable values (an
+        // Arc pointer, a u64) with no invariant a panic could tear.
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
         self.epoch.store(epoch, Ordering::Release);
         let (lock, cvar) = &self.publish_signal;
-        *lock.lock().expect("publish signal poisoned") = epoch;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = epoch;
         cvar.notify_all();
     }
 
@@ -160,9 +164,11 @@ impl SnapshotHub {
     /// clients that need read-your-writes against a known write point).
     pub fn wait_for_epoch(&self, target: u64) {
         let (lock, cvar) = &self.publish_signal;
-        let mut epoch = lock.lock().expect("publish signal poisoned");
+        // Poison-safe: the guarded value is a plain u64 epoch; a waiter
+        // must keep waiting even if some publisher thread panicked.
+        let mut epoch = lock.lock().unwrap_or_else(|e| e.into_inner());
         while *epoch < target {
-            epoch = cvar.wait(epoch).expect("publish signal poisoned");
+            epoch = cvar.wait(epoch).unwrap_or_else(|e| e.into_inner());
         }
     }
 }

@@ -79,6 +79,7 @@ where
                     }),
                     Err(e) => Err(e.to_string()),
                 };
+                // fg-lint: allow(swallowed-results): the client hung up before its ack; the write is already durable either way
                 let _ = job.reply.send(reply);
             }
             publisher

@@ -40,7 +40,7 @@ pub use durable::{
 pub use error::{RecoveryError, StoreError};
 pub use repl::{
     wake_acceptor, wake_addr, ReplError, ReplListener, ReplProgress, ReplRequest, ReplResponse,
-    Replica,
+    Replica, MAX_REPL_HANDLERS,
 };
 pub use snapstore::{
     load_snapshot, manifest_path, read_manifest, snapshot_path, sync_dir, wal_path, write_manifest,

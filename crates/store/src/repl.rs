@@ -51,7 +51,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -398,8 +398,8 @@ pub fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
 pub fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, ReplError> {
     let mut header = [0u8; 8];
     stream.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    let len = u32::from_le_bytes(crate::wal::le4(&header[..4])) as usize;
+    let crc = u32::from_le_bytes(crate::wal::le4(&header[4..]));
     if !(6..=MAX_REPL_PAYLOAD).contains(&len) {
         return Err(ReplError::Malformed(format!(
             "frame payload length {len} out of bounds"
@@ -424,7 +424,23 @@ pub fn read_frame(stream: &mut TcpStream) -> Result<Vec<u8>, ReplError> {
 pub struct ReplListener {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
     acceptor: Option<JoinHandle<()>>,
+}
+
+/// Upper bound on simultaneously served replica connections. The accept
+/// loop closes connections beyond it instead of spawning without bound —
+/// a stalled or malicious fleet cannot exhaust the master's threads.
+pub const MAX_REPL_HANDLERS: usize = 64;
+
+/// Releases one handler slot when its connection thread exits — by any
+/// path, including a panic unwinding the handler.
+struct HandlerSlot(Arc<AtomicUsize>);
+
+impl Drop for HandlerSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl ReplListener {
@@ -437,15 +453,18 @@ impl ReplListener {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
         let flag = Arc::clone(&shutdown);
+        let slots = Arc::clone(&active);
         let dir = dir.to_path_buf();
         let acceptor = thread::Builder::new()
             .name("fgr1-acceptor".to_string())
-            .spawn(move || accept_loop(&listener, &dir, &flag))
+            .spawn(move || accept_loop(&listener, &dir, &flag, &slots))
             .map_err(ReplError::Io)?;
         Ok(ReplListener {
             addr,
             shutdown,
+            active,
             acceptor: Some(acceptor),
         })
     }
@@ -455,12 +474,20 @@ impl ReplListener {
         self.addr
     }
 
+    /// How many replica connections are being served right now — the
+    /// concurrency the accept loop has fanned out, bounded by
+    /// [`MAX_REPL_HANDLERS`].
+    pub fn active_handlers(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
     /// Stops accepting, drains connection handlers, and joins the
     /// acceptor. Idempotent.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.acceptor.take() {
             wake_acceptor(self.addr);
+            // fg-lint: allow(swallowed-results): stop() must be infallible and idempotent; a panicked acceptor leaves nothing to clean up
             let _ = handle.join();
         }
     }
@@ -472,24 +499,44 @@ impl Drop for ReplListener {
     }
 }
 
-fn accept_loop(listener: &TcpListener, dir: &Path, shutdown: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    dir: &Path,
+    shutdown: &Arc<AtomicBool>,
+    active: &Arc<AtomicUsize>,
+) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        handlers.retain(|h| !h.is_finished());
+        // Bounded fan-out: a connection past the cap is closed, not
+        // queued — the replica sees EOF and retries, and a stalled
+        // fleet cannot exhaust the master's threads.
+        if active.load(Ordering::SeqCst) >= MAX_REPL_HANDLERS {
+            drop(stream);
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let slot = HandlerSlot(Arc::clone(active));
         let dir = dir.to_path_buf();
         let flag = Arc::clone(shutdown);
+        // On spawn failure the closure (and with it the slot guard) is
+        // dropped, releasing the reservation.
         if let Ok(handle) = thread::Builder::new()
             .name("fgr1-handler".to_string())
-            .spawn(move || handle_connection(stream, &dir, &flag))
+            .spawn(move || {
+                let _slot = slot;
+                handle_connection(stream, &dir, &flag);
+            })
         {
             handlers.push(handle);
         }
-        handlers.retain(|h| !h.is_finished());
     }
     for handle in handlers {
+        // fg-lint: allow(swallowed-results): a panicked handler only ends its own connection; draining must reach every join
         let _ = handle.join();
     }
 }

@@ -206,6 +206,7 @@ pub fn sweep_unreferenced(dir: &Path, keep: Manifest) {
             || (name.starts_with("wal-") && path != keep_wal)
             || name.ends_with(".tmp");
         if sweepable {
+            // fg-lint: allow(swallowed-results): orphan sweeping is advisory; a busy file is retried on the next checkpoint
             let _ = fs::remove_file(&path);
         }
     }

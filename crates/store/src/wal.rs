@@ -206,6 +206,18 @@ pub fn decode_records(buf: &[u8]) -> Result<Vec<WalRecord>, String> {
     Ok(records)
 }
 
+/// Copies up to 4 leading bytes of `src` into an array without a panic
+/// path (`zip` stops at the shorter side); callers bounds-check first.
+/// WAL recovery and FGR1 framing must classify damage, never panic on
+/// it.
+pub(crate) fn le4(src: &[u8]) -> [u8; 4] {
+    let mut out = [0u8; 4];
+    for (dst, byte) in out.iter_mut().zip(src) {
+        *dst = *byte;
+    }
+    out
+}
+
 enum ParseFailure {
     /// Framing or checksum violation — crash damage or garbage.
     Damaged,
@@ -219,8 +231,8 @@ fn parse_record_at(buf: &[u8], pos: usize) -> Result<(WalRecord, usize), ParseFa
     let Some(header_end) = header_end else {
         return Err(ParseFailure::Damaged);
     };
-    let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(buf[pos + 4..header_end].try_into().unwrap());
+    let len = u32::from_le_bytes(le4(&buf[pos..pos + 4])) as usize;
+    let crc = u32::from_le_bytes(le4(&buf[pos + 4..header_end]));
     if !(MIN_PAYLOAD..=MAX_PAYLOAD).contains(&len) {
         return Err(ParseFailure::Damaged);
     }
@@ -379,6 +391,7 @@ impl Drop for WalWriter {
     fn drop(&mut self) {
         // Best-effort durability on clean shutdown; a crash simulation
         // (mem::forget or kill) skips this, which is the point.
+        // fg-lint: allow(swallowed-results): Drop cannot propagate; callers needing certainty call sync() themselves
         let _ = self.sync();
     }
 }

@@ -18,9 +18,13 @@ use forgiving_graph::graph::NodeId;
 use forgiving_graph::serve::{
     spawn_writer, Client, Publisher, ReplicaNode, Request, ResponseBody, Server, ServerConfig,
 };
-use forgiving_graph::store::{DurableHealer, DurableOptions, ReplListener};
+use forgiving_graph::store::{DurableHealer, DurableOptions, ReplListener, MAX_REPL_HANDLERS};
 use std::fs;
+use std::io::Read;
+use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("fg-e2e-repl-{}-{name}", std::process::id()));
@@ -90,6 +94,158 @@ fn probe(
         }
     }
     (stamp.epoch, stamp.digest, answers)
+}
+
+/// Polls `cond` until it holds or `deadline` elapses (handler
+/// bookkeeping is asynchronous to the accept loop).
+fn wait_until(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            start.elapsed() < deadline,
+            "timed out after {deadline:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A master store directory with `events` applied and committed, plus a
+/// replication listener over it. The publisher must stay alive for the
+/// WAL to remain the listener's source of truth.
+fn master_with_history(
+    dir: &std::path::Path,
+    sc: &forgiving_graph::bench::Scenario,
+) -> (Publisher<DurableHealer<ForgivingGraph>>, ReplListener) {
+    let durable = DurableHealer::create(
+        ForgivingGraph::from_graph(&sc.initial).unwrap(),
+        dir,
+        opts(),
+    )
+    .unwrap();
+    let mut publisher = Publisher::from_durable(durable);
+    let report = publisher
+        .apply_log_publish(&sc.events)
+        .expect("legal trace");
+    assert_eq!(report.outcomes.len(), sc.events.len());
+    let repl = ReplListener::bind("127.0.0.1:0", dir).unwrap();
+    (publisher, repl)
+}
+
+#[test]
+fn stalled_connection_does_not_block_other_replicas() {
+    let sc = scenario("churn", 24, 96, 31);
+    let master_dir = temp_dir("stall-master");
+    let replica_dir = temp_dir("stall-replica");
+    let (publisher, repl) = master_with_history(&master_dir, &sc);
+
+    // A peer that connects and never sends a byte occupies one handler…
+    let stalled = TcpStream::connect(repl.local_addr()).unwrap();
+    wait_until(
+        "the stalled handler to register",
+        Duration::from_secs(10),
+        || repl.active_handlers() == 1,
+    );
+
+    // …while a real replica bootstraps and fully catches up past it —
+    // the accept loop fans out instead of serving one peer at a time.
+    let (mut node, _) =
+        ReplicaNode::<ForgivingGraph>::bootstrap(repl.local_addr(), &replica_dir, opts()).unwrap();
+    assert_eq!(node.sync_to_caught_up().unwrap(), sc.events.len());
+    assert!(repl.active_handlers() >= 1, "stalled handler still held");
+
+    drop(stalled);
+    drop(node);
+    drop(repl);
+    drop(publisher);
+    fs::remove_dir_all(&master_dir).unwrap();
+    fs::remove_dir_all(&replica_dir).unwrap();
+}
+
+#[test]
+fn two_replicas_catch_up_concurrently() {
+    let sc = scenario("churn", 32, 128, 37);
+    let master_dir = temp_dir("conc-master");
+    let (publisher, repl) = master_with_history(&master_dir, &sc);
+    let addr = repl.local_addr();
+    let expected = sc.events.len();
+
+    // Both replicas sync through the same listener at the same time;
+    // the barrier makes the overlap real rather than accidental.
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = [temp_dir("conc-replica-a"), temp_dir("conc-replica-b")]
+        .into_iter()
+        .map(|dir| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (mut node, _) =
+                    ReplicaNode::<ForgivingGraph>::bootstrap(addr, &dir, opts()).unwrap();
+                let applied = node.sync_to_caught_up().unwrap();
+                let epoch = node.hub().epoch();
+                drop(node);
+                (dir, applied, epoch)
+            })
+        })
+        .collect();
+
+    let mut epochs = Vec::new();
+    for handle in handles {
+        let (dir, applied, epoch) = handle.join().unwrap();
+        assert_eq!(applied, expected, "each replica applies the whole history");
+        epochs.push(epoch);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    assert_eq!(epochs[0], epochs[1], "both replicas land on the same epoch");
+
+    drop(repl);
+    drop(publisher);
+    fs::remove_dir_all(&master_dir).unwrap();
+}
+
+#[test]
+fn accept_loop_bounds_handler_fan_out() {
+    let sc = scenario("churn", 16, 24, 41);
+    let master_dir = temp_dir("cap-master");
+    let replica_dir = temp_dir("cap-replica");
+    let (publisher, repl) = master_with_history(&master_dir, &sc);
+    let addr = repl.local_addr();
+
+    // Fill every handler slot with idle connections.
+    let conns: Vec<TcpStream> = (0..MAX_REPL_HANDLERS)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+    wait_until(
+        "the fleet to fill every slot",
+        Duration::from_secs(30),
+        || repl.active_handlers() == MAX_REPL_HANDLERS,
+    );
+
+    // One past the cap is closed without service, not queued.
+    let mut extra = TcpStream::connect(addr).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut byte = [0u8; 1];
+    match extra.read(&mut byte) {
+        Ok(0) | Err(_) => {} // EOF or reset: refused, as designed.
+        Ok(_) => panic!("an over-cap connection must not be served"),
+    }
+    assert_eq!(repl.active_handlers(), MAX_REPL_HANDLERS);
+
+    // Releasing the fleet frees the slots and service resumes.
+    drop(conns);
+    wait_until("handlers to drain", Duration::from_secs(30), || {
+        repl.active_handlers() == 0
+    });
+    let (mut node, _) =
+        ReplicaNode::<ForgivingGraph>::bootstrap(addr, &replica_dir, opts()).unwrap();
+    assert_eq!(node.sync_to_caught_up().unwrap(), sc.events.len());
+
+    drop(node);
+    drop(repl);
+    drop(publisher);
+    fs::remove_dir_all(&master_dir).unwrap();
+    fs::remove_dir_all(&replica_dir).unwrap();
 }
 
 #[test]
